@@ -1,0 +1,13 @@
+"""Figure 4: neuroscience dataset characterisation (generation + statistics)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure4_rows
+
+
+def test_figure4_dataset_characterization(benchmark, profile, record_rows):
+    rows = run_once(benchmark, figure4_rows, profile)
+    record_rows("fig04_datasets", rows, "Figure 4 — neuroscience dataset characterisation")
+    assert len(rows) == 5
+    ratios = [row["surface_to_volume"] for row in rows]
+    assert ratios == sorted(ratios, reverse=True)

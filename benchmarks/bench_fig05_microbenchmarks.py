@@ -1,0 +1,11 @@
+"""Figure 5: the neuroscience microbenchmark definitions."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure5_rows
+
+
+def test_figure5_microbenchmark_table(benchmark, record_rows):
+    rows = run_once(benchmark, figure5_rows)
+    record_rows("fig05_microbenchmarks", rows, "Figure 5 — neuroscience microbenchmarks")
+    assert [row["benchmark"] for row in rows] == ["A", "B", "C", "D"]

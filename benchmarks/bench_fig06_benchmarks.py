@@ -1,0 +1,48 @@
+"""Figure 6: OCTOPUS vs LinearScan / Octree / LUR-Tree / QU-Trade on benchmarks A-D.
+
+Figure 6(a) is the total query response time per approach and benchmark;
+Figure 6(b) is the memory overhead.  Both come from the same comparison run,
+so each benchmark letter gets one timed run whose rows carry both columns.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.figures import run_microbenchmark
+from repro.experiments import neuron_largest
+from repro.workloads import benchmark_by_id
+
+_ALL_ROWS = {}
+
+
+@pytest.mark.parametrize("benchmark_id", ["A", "B", "C", "D"])
+def test_figure6_microbenchmark(benchmark, profile, record_rows, benchmark_id):
+    mesh = neuron_largest(profile)
+    rows = run_once(
+        benchmark,
+        run_microbenchmark,
+        mesh,
+        benchmark_by_id(benchmark_id),
+        n_steps=3,
+    )
+    _ALL_ROWS[benchmark_id] = rows
+    record_rows(
+        f"fig06_benchmark_{benchmark_id}",
+        rows,
+        f"Figure 6 — benchmark {benchmark_id} (response time and memory overhead)",
+    )
+    by_name = {row["strategy"]: row for row in rows}
+    # The paper's headline result: OCTOPUS beats the linear scan while paying
+    # zero maintenance; every other index pays maintenance at every step.
+    # (The wall-clock ordering *among the baselines* depends on absolute scale
+    # and does not transfer to the scaled-down Python datasets — see
+    # EXPERIMENTS.md — so it is reported in the table but not asserted.)
+    assert by_name["octopus"]["speedup_vs_baseline_work"] > 1.0
+    assert by_name["octopus"]["maintenance_time_s"] == 0.0
+    for indexed in ("octree", "lur-tree", "qu-trade"):
+        assert by_name[indexed]["maintenance_time_s"] > 0.0
+    # Figure 6(b): linear scan has no overhead, OCTOPUS needs less memory than
+    # the R-tree based approaches.
+    assert by_name["linear-scan"]["memory_overhead_mb"] == 0.0
+    assert by_name["octopus"]["memory_overhead_mb"] <= by_name["lur-tree"]["memory_overhead_mb"]
+    assert by_name["octopus"]["memory_overhead_mb"] <= by_name["qu-trade"]["memory_overhead_mb"]

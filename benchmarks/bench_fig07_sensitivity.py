@@ -1,0 +1,72 @@
+"""Figure 7: sensitivity analysis (mesh detail, time steps, selectivity)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import (
+    figure7_mesh_detail_fixed_query,
+    figure7_mesh_detail_fixed_results,
+    figure7_selectivity,
+    figure7_time_steps,
+)
+
+
+def test_figure7ab_mesh_detail_fixed_query(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark, figure7_mesh_detail_fixed_query, profile, n_steps=2, queries_per_step=6
+    )
+    record_rows(
+        "fig07ab_mesh_detail_fixed_query",
+        rows,
+        "Figure 7(a,b) — mesh detail sweep, fixed query volume",
+    )
+    speedups = [row["speedup_work"] for row in rows]
+    # Speedup grows with mesh detail (paper: 8x -> 10x).
+    assert speedups[-1] > speedups[0]
+    # Linear scan work grows proportionally with the dataset.
+    linear = [row["linear_scan_work"] for row in rows]
+    assert linear == sorted(linear)
+
+
+def test_figure7cd_mesh_detail_fixed_results(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark,
+        figure7_mesh_detail_fixed_results,
+        profile,
+        n_steps=2,
+        queries_per_step=6,
+        results_per_query=150,
+    )
+    record_rows(
+        "fig07cd_mesh_detail_fixed_results",
+        rows,
+        "Figure 7(c,d) — mesh detail sweep, fixed result count",
+    )
+    speedups = [row["speedup_work"] for row in rows]
+    assert speedups[-1] > speedups[0]
+
+
+def test_figure7ef_time_steps(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark, figure7_time_steps, profile, steps_list=(2, 4, 6, 8, 10), queries_per_step=6
+    )
+    record_rows("fig07ef_time_steps", rows, "Figure 7(e,f) — time step sweep")
+    work = [row["octopus_work"] for row in rows]
+    # Total work grows linearly with the number of steps; speedup stays flat.
+    assert work[-1] > 4 * work[0] * 0.9
+    speedups = [row["speedup_work"] for row in rows]
+    assert max(speedups) / min(speedups) < 1.15
+
+
+def test_figure7gh_selectivity(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark,
+        figure7_selectivity,
+        profile,
+        selectivities=(0.001, 0.005, 0.01, 0.02, 0.05),
+        n_steps=2,
+        queries_per_step=6,
+    )
+    record_rows("fig07gh_selectivity", rows, "Figure 7(g,h) — query selectivity sweep")
+    speedups = [row["speedup_work"] for row in rows]
+    # Speedup decreases with selectivity (paper: 17x down to 7x).
+    assert speedups[0] > speedups[-1]

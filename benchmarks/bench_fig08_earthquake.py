@@ -1,0 +1,31 @@
+"""Figure 8: earthquake (convex) dataset characterisation."""
+
+from conftest import run_once
+
+from repro.experiments import earthquake_pair
+
+
+def _rows(profile):
+    rows = []
+    for mesh in earthquake_pair(profile):
+        characterization = mesh.characterize()
+        rows.append(
+            {
+                "dataset": characterization["name"],
+                "size_mb": characterization["memory_bytes"] / 1e6,
+                "n_tetrahedra": characterization["n_tetrahedra"],
+                "n_vertices": characterization["n_vertices"],
+                "mesh_degree": characterization["mesh_degree"],
+                "surface_to_volume": characterization["surface_to_volume"],
+            }
+        )
+    return rows
+
+
+def test_figure8_earthquake_datasets(benchmark, profile, record_rows):
+    rows = run_once(benchmark, _rows, profile)
+    record_rows("fig08_earthquake", rows, "Figure 8 — earthquake convex mesh datasets")
+    by_name = {row["dataset"]: row for row in rows}
+    # SF1 is the finer mesh: more tetrahedra, smaller surface-to-volume ratio.
+    assert by_name["SF1"]["n_tetrahedra"] > by_name["SF2"]["n_tetrahedra"]
+    assert by_name["SF1"]["surface_to_volume"] < by_name["SF2"]["surface_to_volume"]

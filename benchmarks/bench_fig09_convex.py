@@ -1,0 +1,53 @@
+"""Figure 9: OCTOPUS-CON on convex meshes and the grid-resolution trade-off."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure9_convex_comparison, figure9_grid_resolution
+
+
+def test_figure9ab_convex_comparison(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark,
+        figure9_convex_comparison,
+        profile,
+        n_steps=3,
+        queries_per_step=6,
+        # The paper uses 0.1% selectivity; on the scaled-down basin meshes that
+        # returns almost nothing, so the bench uses 1% (see EXPERIMENTS.md).
+        selectivity=0.01,
+    )
+    record_rows(
+        "fig09ab_convex_comparison",
+        rows,
+        "Figure 9(a,b) — OCTOPUS-CON vs OCTOPUS vs LinearScan on convex meshes",
+    )
+    for dataset in ("SF2", "SF1"):
+        subset = {row["strategy"]: row for row in rows if row["dataset"] == dataset}
+        # OCTOPUS-CON eliminates the surface probe and beats plain OCTOPUS.
+        assert subset["octopus-con"]["surface_probed"] == 0
+        assert (
+            subset["octopus-con"]["speedup_vs_linear_work"]
+            >= subset["octopus"]["speedup_vs_linear_work"]
+        )
+        assert subset["octopus"]["speedup_vs_linear_work"] > 1.0
+    # OCTOPUS's speedup is larger on SF1 (smaller surface-to-volume ratio),
+    # while OCTOPUS-CON is insensitive to it (paper: 15.5x on both).
+    octopus_sf1 = next(r for r in rows if r["dataset"] == "SF1" and r["strategy"] == "octopus")
+    octopus_sf2 = next(r for r in rows if r["dataset"] == "SF2" and r["strategy"] == "octopus")
+    assert octopus_sf1["speedup_vs_linear_work"] > octopus_sf2["speedup_vs_linear_work"]
+
+
+def test_figure9cd_grid_resolution(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark, figure9_grid_resolution, profile, resolutions=(2, 6, 10, 14, 18), n_queries=8
+    )
+    record_rows(
+        "fig09cd_grid_resolution",
+        rows,
+        "Figure 9(c,d) — grid resolution vs directed walk cost and grid memory",
+    )
+    walks = [row["directed_walk_vertices"] for row in rows]
+    memory = [row["grid_memory_mb"] for row in rows]
+    # Finer grids shorten the directed walk but cost more memory.
+    assert walks[-1] <= walks[0]
+    assert memory == sorted(memory)

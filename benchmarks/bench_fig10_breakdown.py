@@ -1,0 +1,29 @@
+"""Figure 10: OCTOPUS phase breakdown and memory footprint."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure10_breakdown, figure10_footprint
+
+
+def test_figure10a_phase_breakdown(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark, figure10_breakdown, profile, n_steps=2, queries_per_step=6, selectivity=0.005
+    )
+    record_rows("fig10a_breakdown", rows, "Figure 10(a) — OCTOPUS phase breakdown vs dataset size")
+    # The directed walk is a rare event and contributes the least work.
+    for row in rows:
+        assert row["walk_vertices"] <= row["surface_probed"] + row["crawl_vertices"]
+    # The surface probe grows sub-linearly with the dataset.
+    sizes = [row["n_tetrahedra"] for row in rows]
+    probes = [row["surface_probed"] for row in rows]
+    assert probes[-1] / probes[0] < sizes[-1] / sizes[0]
+
+
+def test_figure10b_memory_footprint(benchmark, profile, record_rows):
+    rows = run_once(benchmark, figure10_footprint, profile, queries_counts=(2, 5, 10, 15, 20))
+    record_rows("fig10b_footprint", rows, "Figure 10(b) — footprint vs number of query results")
+    results = [row["total_results"] for row in rows]
+    footprints = [row["total_footprint_mb"] for row in rows]
+    # Footprint correlates directly with the number of query results.
+    assert results == sorted(results)
+    assert footprints == sorted(footprints)

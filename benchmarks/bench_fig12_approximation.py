@@ -1,0 +1,28 @@
+"""Figure 12: the surface-approximation optimisation (accuracy vs speedup)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure12_surface_approximation
+
+
+def test_figure12_surface_approximation(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark,
+        figure12_surface_approximation,
+        profile,
+        fractions=(0.001, 0.01, 0.1, 1.0),
+        selectivities=(0.001, 0.01),
+        n_queries=5,
+    )
+    record_rows("fig12_approximation", rows, "Figure 12 — surface approximation")
+    for selectivity in {row["selectivity_pct"] for row in rows}:
+        series = [row for row in rows if row["selectivity_pct"] == selectivity]
+        series.sort(key=lambda row: row["approximation_pct"])
+        accuracies = [row["accuracy_pct"] for row in series]
+        speedups = [row["speedup_vs_exact"] for row in series]
+        # Accuracy is monotone in the approximation fraction and exact at 100%.
+        assert accuracies == sorted(accuracies)
+        assert accuracies[-1] == 100.0
+        # Probing fewer surface vertices can only help performance.
+        assert speedups[0] >= speedups[-1]
+        assert speedups[-1] == 1.0

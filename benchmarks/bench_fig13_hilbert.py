@@ -1,0 +1,21 @@
+"""Figure 13: effect of the Hilbert-order data layout on the crawl."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure13_hilbert_layout
+
+
+def test_figure13_hilbert_layout(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark,
+        figure13_hilbert_layout,
+        profile,
+        selectivities=(0.0001, 0.0005, 0.001, 0.0015, 0.002),
+        n_queries=5,
+    )
+    record_rows("fig13_hilbert", rows, "Figure 13 — Hilbert data layout")
+    for row in rows:
+        # The layout never changes what is retrieved, only how it is stored.
+        assert row["crawl_vertices_with"] == row["crawl_vertices_without"]
+        # The machine-independent locality score always improves.
+        assert row["locality_with_layout"] < row["locality_without_layout"]

@@ -1,0 +1,18 @@
+"""Figure 14: deforming mesh (animation) dataset characterisation."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure14_rows
+
+
+def test_figure14_animation_datasets(benchmark, profile, record_rows):
+    rows = run_once(benchmark, figure14_rows, profile)
+    record_rows("fig14_animation_datasets", rows, "Figure 14 — deforming mesh datasets")
+    by_name = {row["dataset"]: row for row in rows}
+    assert by_name["horse-gallop"]["time_steps"] == 48
+    assert by_name["facial-expression"]["time_steps"] == 9
+    assert by_name["camel-compress"]["time_steps"] == 53
+    # The facial-expression mesh has the smallest surface-to-volume ratio,
+    # mirroring the ordering of the paper's Figure 14.
+    ratios = {name: row["surface_to_volume"] for name, row in by_name.items()}
+    assert ratios["facial-expression"] == min(ratios.values())

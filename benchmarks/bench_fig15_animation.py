@@ -1,0 +1,20 @@
+"""Figure 15: per-time-step response time and speedup on the animation datasets."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure15_animation
+
+
+def test_figure15_animation_speedups(benchmark, profile, record_rows):
+    rows = run_once(
+        benchmark, figure15_animation, profile, queries_per_step=6, max_steps=4
+    )
+    record_rows("fig15_animation", rows, "Figure 15 — deforming mesh query performance")
+    assert len(rows) == 3
+    # The paper's finding: the lower the surface-to-volume ratio, the higher
+    # OCTOPUS's speedup, with the facial-expression sequence doing best.
+    by_ratio = sorted(rows, key=lambda row: row["surface_to_volume"])
+    speedups = [row["speedup_work"] for row in by_ratio]
+    assert speedups[0] == max(speedups)
+    assert by_ratio[0]["dataset"] == "facial-expression"
+    assert speedups[0] > 1.0

@@ -1,0 +1,52 @@
+"""Shared benchmark plumbing.
+
+Every benchmark module regenerates one table or figure of the paper via the
+drivers in :mod:`repro.experiments.figures`, times the run with
+pytest-benchmark, prints the resulting series (visible with ``-s``) and writes
+it to ``benchmarks/results/<name>.txt`` so the numbers can be inspected after
+the run and compared against EXPERIMENTS.md.
+
+The dataset profile defaults to ``small`` and can be overridden with the
+``REPRO_BENCH_PROFILE`` environment variable (``tiny`` for smoke runs,
+``medium`` for a longer, closer-to-the-paper run).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import format_table  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile() -> str:
+    """Dataset size profile used by all benchmarks."""
+    return os.environ.get("REPRO_BENCH_PROFILE", "small")
+
+
+@pytest.fixture(scope="session")
+def record_rows():
+    """Print a figure's rows and persist them under benchmarks/results/."""
+
+    def recorder(name: str, rows, title: str) -> None:
+        text = format_table(rows, title=title)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return recorder
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Cost-model advisor: decide between OCTOPUS and a linear scan before running.
+
+Section IV-G's analytical model predicts OCTOPUS's cost from four dataset and
+workload parameters; Equation 6 gives the selectivity threshold above which a
+linear scan wins.  This example calibrates the model's machine constants on
+the current machine, characterises a mesh, and prints the advice the model
+gives for a range of query selectivities — then verifies two of the
+predictions by measuring.
+
+Run with::
+
+    python examples/cost_model_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro import LinearScanExecutor, OctopusExecutor, calibrate_cost_model
+from repro.generators import neuron_mesh
+from repro.workloads import random_query_workload
+
+
+def main() -> None:
+    mesh = neuron_mesh(resolution=24, name="advised-neuron")
+    model = calibrate_cost_model(mesh)
+    surface_ratio = mesh.surface_to_volume_ratio()
+    mesh_degree = mesh.mesh_degree()
+
+    print(f"mesh: {mesh.n_vertices} vertices, S = {surface_ratio:.3f}, M = {mesh_degree:.2f}")
+    print(f"calibrated constants: cs = {model.cs:.2e} s/vertex, cr = {model.cr:.2e} s/vertex")
+    threshold = model.max_selectivity(surface_ratio, mesh_degree)
+    print(f"Equation 6 threshold: use OCTOPUS below {threshold * 100:.2f}% selectivity\n")
+
+    print(f"{'selectivity [%]':>16} {'predicted speedup':>18} {'advice':>14}")
+    for selectivity in (0.0001, 0.001, 0.005, 0.02, threshold, 2 * threshold):
+        speedup = model.speedup(surface_ratio, mesh_degree, selectivity)
+        advice = "OCTOPUS" if model.should_use_octopus(surface_ratio, mesh_degree, selectivity) else "linear scan"
+        print(f"{selectivity * 100:>16.3f} {speedup:>18.2f} {advice:>14}")
+
+    # Verify the prediction by measuring at two selectivities.
+    print("\nmeasured check (work-based speedup):")
+    octopus = OctopusExecutor()
+    octopus.prepare(mesh)
+    linear = LinearScanExecutor()
+    linear.prepare(mesh)
+    for selectivity in (0.001, 0.02):
+        workload = random_query_workload(mesh, selectivity=selectivity, n_queries=5, seed=0)
+        octopus_work = sum(
+            octopus.query(box).counters.total_vertex_accesses() for box in workload.boxes
+        )
+        linear_work = sum(
+            linear.query(box).counters.total_vertex_accesses() for box in workload.boxes
+        )
+        measured_selectivity = workload.mean_measured_selectivity()
+        predicted = model.speedup(surface_ratio, mesh_degree, measured_selectivity)
+        print(
+            f"  selectivity {measured_selectivity * 100:5.2f}%: "
+            f"measured {linear_work / max(octopus_work, 1):5.2f}x, "
+            f"model predicts {predicted:5.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

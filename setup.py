@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can also be installed in legacy mode (``pip install -e . --no-use-pep517``)
+on environments whose setuptools/wheel combination cannot build PEP 660
+editable wheels (e.g. offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

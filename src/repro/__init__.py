@@ -1,0 +1,93 @@
+"""repro — a reproduction of OCTOPUS (ICDE 2014): efficient range queries on dynamic meshes.
+
+The public API is organised in layers:
+
+* :mod:`repro.mesh` — mesh substrate (geometry, connectivity, surface extraction);
+* :mod:`repro.generators` — synthetic dataset generators;
+* :mod:`repro.simulation` — deformation models, restructuring, monitoring, driver;
+* :mod:`repro.baselines` — linear scan and index-based baselines;
+* :mod:`repro.core` — OCTOPUS, OCTOPUS-CON, the surface index and the cost model;
+* :mod:`repro.workloads` — query workloads and selectivity estimation;
+* :mod:`repro.experiments` — per-figure experiment drivers and reporting.
+
+The most common entry points are re-exported here::
+
+    from repro import OctopusExecutor, Box3D
+    from repro.generators import neuron_mesh
+
+    mesh = neuron_mesh(resolution=16)
+    octopus = OctopusExecutor()
+    octopus.prepare(mesh)
+    result = octopus.query(Box3D.cube(mesh.bounding_box().center, 0.5))
+"""
+
+from . import baselines, core, experiments, generators, mesh, simulation, workloads
+from .baselines import (
+    LinearScanExecutor,
+    LURTreeExecutor,
+    QUTradeExecutor,
+    ThrowawayGridExecutor,
+    ThrowawayKDTreeExecutor,
+    ThrowawayOctreeExecutor,
+)
+from .core import (
+    CostModel,
+    OctopusConExecutor,
+    OctopusExecutor,
+    QueryCounters,
+    QueryResult,
+    SurfaceIndex,
+    calibrate_cost_model,
+)
+from .errors import (
+    ExperimentError,
+    GeometryError,
+    IndexError_,
+    MeshConnectivityError,
+    MeshError,
+    QueryError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from .mesh import Box3D, HexahedralMesh, PolyhedralMesh, TetrahedralMesh, TriangleMesh
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Box3D",
+    "CostModel",
+    "ExperimentError",
+    "GeometryError",
+    "HexahedralMesh",
+    "IndexError_",
+    "LURTreeExecutor",
+    "LinearScanExecutor",
+    "MeshConnectivityError",
+    "MeshError",
+    "OctopusConExecutor",
+    "OctopusExecutor",
+    "PolyhedralMesh",
+    "QUTradeExecutor",
+    "QueryCounters",
+    "QueryError",
+    "QueryResult",
+    "ReproError",
+    "SimulationError",
+    "SurfaceIndex",
+    "TetrahedralMesh",
+    "ThrowawayGridExecutor",
+    "ThrowawayKDTreeExecutor",
+    "ThrowawayOctreeExecutor",
+    "TriangleMesh",
+    "WorkloadError",
+    "__version__",
+    "baselines",
+    "calibrate_cost_model",
+    "core",
+    "experiments",
+    "generators",
+    "mesh",
+    "simulation",
+    "workloads",
+]

@@ -1,0 +1,24 @@
+"""Baseline range-query execution strategies the paper compares against."""
+
+from .grid_index import ThrowawayGridExecutor
+from .kdtree import KDTree, ThrowawayKDTreeExecutor
+from .linear_scan import LinearScanExecutor
+from .lur_tree import LURTreeExecutor
+from .octree import Octree, ThrowawayOctreeExecutor
+from .qu_trade import QUTradeExecutor
+from .rtree import RTree, RTreeNode
+from .rum_tree import RUMTreeExecutor
+
+__all__ = [
+    "KDTree",
+    "LURTreeExecutor",
+    "LinearScanExecutor",
+    "Octree",
+    "QUTradeExecutor",
+    "RTree",
+    "RTreeNode",
+    "RUMTreeExecutor",
+    "ThrowawayGridExecutor",
+    "ThrowawayKDTreeExecutor",
+    "ThrowawayOctreeExecutor",
+]

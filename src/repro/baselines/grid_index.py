@@ -1,0 +1,58 @@
+"""Throwaway uniform-grid baseline.
+
+A uniform grid rebuilt from scratch after every simulation step.  Shares the
+:class:`~repro.core.uniform_grid.UniformGrid` structure with OCTOPUS-CON; the
+difference is purely in the lifecycle — this baseline keeps the grid fresh and
+answers queries from it directly, while OCTOPUS-CON lets it go stale and only
+uses it to pick a crawl starting vertex.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.executor import ExecutionStrategy
+from ..core.result import QueryCounters, QueryResult
+from ..core.uniform_grid import UniformGrid
+from ..mesh import Box3D
+
+__all__ = ["ThrowawayGridExecutor"]
+
+
+class ThrowawayGridExecutor(ExecutionStrategy):
+    """Uniform grid rebuilt after every simulation step."""
+
+    name = "grid"
+
+    def __init__(self, resolution: int = 16) -> None:
+        super().__init__()
+        self.resolution = resolution
+        self._grid: UniformGrid | None = None
+
+    def _build(self) -> float:
+        self._grid = UniformGrid(self.resolution)
+        return self._grid.build(self.mesh.vertices)
+
+    @property
+    def grid(self) -> UniformGrid:
+        if self._grid is None:
+            raise RuntimeError("grid: prepare() has not been called")
+        return self._grid
+
+    def on_step(self) -> float:
+        elapsed = self.grid.build(self.mesh.vertices)
+        self.maintenance_time += elapsed
+        self.maintenance_entries += self.mesh.n_vertices
+        return elapsed
+
+    def query(self, box: Box3D) -> QueryResult:
+        counters = QueryCounters()
+        start = time.perf_counter()
+        ids = self.grid.query(box, self.mesh.vertices, counters)
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            vertex_ids=ids, counters=counters, index_time=elapsed, total_time=elapsed
+        )
+
+    def memory_overhead_bytes(self) -> int:
+        return self.grid.memory_bytes() if self._grid is not None else 0

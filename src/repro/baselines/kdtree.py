@@ -1,0 +1,152 @@
+"""Throwaway k-d tree baseline.
+
+One of the memory-based spatial indexes the paper lists as candidates for the
+rebuild-every-step strategy (Section II-A, [4]).  Median-split bucket k-d tree
+rebuilt from scratch after every simulation step.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.executor import ExecutionStrategy
+from ..core.result import QueryCounters, QueryResult
+from ..errors import IndexError_
+from ..mesh import Box3D, points_in_box
+
+__all__ = ["KDTree", "ThrowawayKDTreeExecutor"]
+
+
+class _KDNode:
+    __slots__ = ("axis", "split", "left", "right", "entry_ids")
+
+    def __init__(self) -> None:
+        self.axis = -1
+        self.split = 0.0
+        self.left: "_KDNode | None" = None
+        self.right: "_KDNode | None" = None
+        self.entry_ids: np.ndarray | None = None
+
+
+class KDTree:
+    """Median-split bucket k-d tree over a point set."""
+
+    def __init__(self, bucket_size: int = 128) -> None:
+        if bucket_size < 1:
+            raise IndexError_("bucket_size must be at least 1")
+        self.bucket_size = bucket_size
+        self.root: _KDNode | None = None
+        self.n_nodes = 0
+        self.build_time = 0.0
+
+    def build(self, positions: np.ndarray) -> float:
+        start = time.perf_counter()
+        pts = np.asarray(positions, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
+            raise IndexError_("kd-tree build needs a non-empty (n, 3) position array")
+        self.n_nodes = 0
+        self.root = self._build_node(pts, np.arange(pts.shape[0], dtype=np.int64), 0)
+        self.build_time = time.perf_counter() - start
+        return self.build_time
+
+    def _build_node(self, pts: np.ndarray, ids: np.ndarray, depth: int) -> _KDNode:
+        node = _KDNode()
+        self.n_nodes += 1
+        if ids.size <= self.bucket_size:
+            node.entry_ids = ids
+            return node
+        axis = depth % 3
+        values = pts[ids, axis]
+        median = float(np.median(values))
+        left_mask = values <= median
+        # Guard against all points collapsing onto one side (duplicate coords).
+        if left_mask.all() or not left_mask.any():
+            node.entry_ids = ids
+            return node
+        node.axis = axis
+        node.split = median
+        node.left = self._build_node(pts, ids[left_mask], depth + 1)
+        node.right = self._build_node(pts, ids[~left_mask], depth + 1)
+        return node
+
+    def query(
+        self, box: Box3D, positions: np.ndarray, counters: QueryCounters | None = None
+    ) -> np.ndarray:
+        if self.root is None:
+            raise IndexError_("kd-tree has not been built")
+        pts = np.asarray(positions)
+        found: list[np.ndarray] = []
+        nodes_visited = 0
+        scanned = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            nodes_visited += 1
+            if node.entry_ids is not None:
+                scanned += node.entry_ids.size
+                inside = points_in_box(pts[node.entry_ids], box)
+                if inside.any():
+                    found.append(node.entry_ids[inside])
+                continue
+            if box.lo[node.axis] <= node.split and node.left is not None:
+                stack.append(node.left)
+            if box.hi[node.axis] >= node.split and node.right is not None:
+                stack.append(node.right)
+        if counters is not None:
+            counters.index_nodes_visited += nodes_visited
+            counters.vertices_scanned += scanned
+        return np.sort(np.concatenate(found)) if found else np.empty(0, dtype=np.int64)
+
+    def memory_bytes(self) -> int:
+        if self.root is None:
+            return 0
+        stored_entries = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.entry_ids is not None:
+                stored_entries += int(node.entry_ids.size)
+            else:
+                stack.extend([node.left, node.right])
+        return self.n_nodes * 64 + stored_entries * 8
+
+
+class ThrowawayKDTreeExecutor(ExecutionStrategy):
+    """k-d tree rebuilt from scratch after every simulation step."""
+
+    name = "kd-tree"
+
+    def __init__(self, bucket_size: int = 128) -> None:
+        super().__init__()
+        self.bucket_size = bucket_size
+        self._tree: KDTree | None = None
+
+    def _build(self) -> float:
+        self._tree = KDTree(bucket_size=self.bucket_size)
+        return self._tree.build(self.mesh.vertices)
+
+    @property
+    def kdtree(self) -> KDTree:
+        if self._tree is None:
+            raise RuntimeError("kd-tree: prepare() has not been called")
+        return self._tree
+
+    def on_step(self) -> float:
+        elapsed = self.kdtree.build(self.mesh.vertices)
+        self.maintenance_time += elapsed
+        self.maintenance_entries += self.mesh.n_vertices
+        return elapsed
+
+    def query(self, box: Box3D) -> QueryResult:
+        counters = QueryCounters()
+        start = time.perf_counter()
+        ids = self.kdtree.query(box, self.mesh.vertices, counters)
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            vertex_ids=ids, counters=counters, index_time=elapsed, total_time=elapsed
+        )
+
+    def memory_overhead_bytes(self) -> int:
+        return self.kdtree.memory_bytes() if self._tree is not None else 0

@@ -1,0 +1,44 @@
+"""The linear scan baseline.
+
+The simplest correct approach: test every vertex of the mesh against the query
+box.  It needs no auxiliary structures and no maintenance, but its cost is
+proportional to the dataset size — exactly the scaling problem OCTOPUS is
+designed to beat (Sections I and III-C).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.executor import ExecutionStrategy
+from ..core.result import QueryCounters, QueryResult
+from ..mesh import Box3D, points_in_box
+
+__all__ = ["LinearScanExecutor"]
+
+
+class LinearScanExecutor(ExecutionStrategy):
+    """Full scan of all vertex positions for every query."""
+
+    name = "linear-scan"
+
+    def query(self, box: Box3D) -> QueryResult:
+        mesh = self.mesh
+        counters = QueryCounters()
+        start = time.perf_counter()
+        inside = points_in_box(mesh.vertices, box)
+        vertex_ids = np.nonzero(inside)[0].astype(np.int64)
+        elapsed = time.perf_counter() - start
+        counters.vertices_scanned += mesh.n_vertices
+        return QueryResult(
+            vertex_ids=vertex_ids,
+            counters=counters,
+            scan_time=elapsed,
+            total_time=elapsed,
+        )
+
+    def memory_overhead_bytes(self) -> int:
+        """The linear scan keeps no auxiliary data structures."""
+        return 0

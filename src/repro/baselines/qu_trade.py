@@ -1,0 +1,130 @@
+"""The QU-Trade baseline (workload-aware grace windows, Tzoumas et al. 2009).
+
+Instead of indexing the exact object positions, QU-Trade indexes a *grace
+window* around them: an object only triggers index maintenance when it moves
+outside the window, so a larger window means fewer updates at the price of
+queries having to look at more irrelevant objects (the traversal must expand
+every MBR by the window, and the leaves it reaches contain more non-matching
+entries).
+
+Following Section V-A, the executor exposes the window size as a tunable and
+provides :meth:`QUTradeExecutor.tune_window_for`, which picks a window large
+enough that fewer than a target fraction (1% in the paper) of the per-step
+position updates trigger R-tree maintenance.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.executor import ExecutionStrategy
+from ..core.result import QueryCounters, QueryResult
+from ..errors import IndexError_
+from ..mesh import Box3D
+from .rtree import RTree
+
+__all__ = ["QUTradeExecutor"]
+
+
+class QUTradeExecutor(ExecutionStrategy):
+    """R-tree with grace windows around leaf MBRs.
+
+    Parameters
+    ----------
+    window_fraction:
+        Grace-window size as a fraction of the mesh bounding-box diagonal.
+    fanout:
+        R-tree fanout (the paper uses 110).
+    """
+
+    name = "qu-trade"
+
+    def __init__(self, window_fraction: float = 0.05, fanout: int = 110) -> None:
+        super().__init__()
+        if window_fraction < 0:
+            raise IndexError_("window_fraction must be non-negative")
+        self.window_fraction = window_fraction
+        self.fanout = fanout
+        self._tree: RTree | None = None
+        self._window = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _build(self) -> float:
+        self._tree = RTree(fanout=self.fanout)
+        seconds = self._tree.bulk_load(self.mesh.vertices)
+        diagonal = float(np.linalg.norm(self.mesh.bounding_box().extents))
+        self._window = self.window_fraction * diagonal
+        return seconds
+
+    @property
+    def tree(self) -> RTree:
+        if self._tree is None:
+            raise RuntimeError("qu-trade: prepare() has not been called")
+        return self._tree
+
+    @property
+    def window(self) -> float:
+        """Absolute grace-window size in model units."""
+        return self._window
+
+    def tune_window_for(self, per_step_displacement: float, target_update_fraction: float = 0.01) -> None:
+        """Grow the grace window until the expected escape rate drops below target.
+
+        ``per_step_displacement`` is the typical distance a vertex moves per
+        simulation step; assuming an unpredictable direction, a window of
+        ``displacement / target_fraction`` makes escapes (which need roughly
+        ``window / displacement`` consecutive steps in the same direction)
+        rare.  This is intentionally a simple heuristic — the point of the
+        baseline is its behaviour class, not a faithful reimplementation of
+        the original tuning advisor.
+        """
+        if per_step_displacement < 0 or not 0 < target_update_fraction <= 1:
+            raise IndexError_("invalid tuning parameters")
+        self._window = max(self._window, per_step_displacement / target_update_fraction)
+
+    def on_step(self) -> float:
+        """Reinsert only the vertices that escaped their leaf's grace window."""
+        tree = self.tree
+        positions = self.mesh.vertices
+        window = self._window
+        start = time.perf_counter()
+        moved = 0
+        leaves = {id(leaf): leaf for leaf in tree._leaf_of.values()}
+        escapees: list[int] = []
+        for leaf in leaves.values():
+            if not leaf.entries:
+                continue
+            ids = np.asarray(leaf.entries, dtype=np.int64)
+            pts = positions[ids]
+            inside = np.all((pts >= leaf.lo - window) & (pts <= leaf.hi + window), axis=1)
+            if not inside.all():
+                escapees.extend(int(i) for i in ids[~inside])
+        for entry_id in escapees:
+            tree.delete(entry_id)
+            tree.insert(entry_id, positions[entry_id])
+            moved += 1
+        elapsed = time.perf_counter() - start
+        self.maintenance_time += elapsed
+        self.maintenance_entries += moved
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, box: Box3D) -> QueryResult:
+        counters = QueryCounters()
+        start = time.perf_counter()
+        ids = self.tree.query(
+            box, self.mesh.vertices, counters, mbr_expansion=self._window
+        )
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            vertex_ids=ids, counters=counters, index_time=elapsed, total_time=elapsed
+        )
+
+    def memory_overhead_bytes(self) -> int:
+        return self.tree.memory_bytes() if self._tree is not None else 0

@@ -1,0 +1,370 @@
+"""An in-memory R-tree over vertex positions.
+
+This is the substrate shared by the LUR-Tree and QU-Trade baselines (both of
+which the paper implements "based on the same in-memory R-Tree implementation
+with a fanout of 110", Section V-A).  The tree is bulk-loaded with the Sort-
+Tile-Recursive (STR) algorithm and supports point deletion, insertion with
+least-enlargement leaf choice, node splitting on overflow, and range queries
+that count visited nodes.
+
+Positions are read through a reference to the caller's position array, so the
+tree sees in-place updates automatically; what it maintains itself are the
+entry-to-leaf assignments and the node MBRs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..core.result import QueryCounters
+from ..errors import IndexError_
+from ..mesh import Box3D, points_in_box
+
+__all__ = ["RTree", "RTreeNode"]
+
+
+class RTreeNode:
+    """A node of the R-tree (leaf nodes hold point ids, internal nodes hold children)."""
+
+    __slots__ = ("lo", "hi", "children", "entries", "parent", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.lo = np.full(3, np.inf)
+        self.hi = np.full(3, -np.inf)
+        self.children: list["RTreeNode"] = []
+        self.entries: list[int] = []
+        self.parent: Optional["RTreeNode"] = None
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def mbr(self) -> Box3D:
+        return Box3D(self.lo, self.hi)
+
+    def contains_point(self, point: np.ndarray) -> bool:
+        return bool(np.all(point >= self.lo) and np.all(point <= self.hi))
+
+    def intersects_box(self, box: Box3D) -> bool:
+        return bool(np.all(self.lo <= box.hi) and np.all(box.lo <= self.hi))
+
+    def enlargement_for(self, point: np.ndarray) -> float:
+        """Volume increase required to include ``point`` in this node's MBR."""
+        new_lo = np.minimum(self.lo, point)
+        new_hi = np.maximum(self.hi, point)
+        old_volume = float(np.prod(np.maximum(self.hi - self.lo, 0.0)))
+        new_volume = float(np.prod(np.maximum(new_hi - new_lo, 0.0)))
+        return new_volume - old_volume
+
+    def extend_to_point(self, point: np.ndarray) -> None:
+        self.lo = np.minimum(self.lo, point)
+        self.hi = np.maximum(self.hi, point)
+
+    def recompute_mbr(self, positions: np.ndarray) -> None:
+        """Tighten the MBR from current children / entries."""
+        if self.is_leaf:
+            if self.entries:
+                pts = positions[np.asarray(self.entries, dtype=np.int64)]
+                self.lo = pts.min(axis=0)
+                self.hi = pts.max(axis=0)
+            else:
+                self.lo = np.full(3, np.inf)
+                self.hi = np.full(3, -np.inf)
+        else:
+            if self.children:
+                self.lo = np.min([c.lo for c in self.children], axis=0)
+                self.hi = np.max([c.hi for c in self.children], axis=0)
+            else:
+                self.lo = np.full(3, np.inf)
+                self.hi = np.full(3, -np.inf)
+
+
+class RTree:
+    """STR-bulk-loaded R-tree over a point set with insert/delete support.
+
+    Parameters
+    ----------
+    fanout:
+        Maximum number of entries per leaf and children per internal node
+        (the paper uses 110).
+    """
+
+    def __init__(self, fanout: int = 110) -> None:
+        if fanout < 4:
+            raise IndexError_("R-tree fanout must be at least 4")
+        self.fanout = fanout
+        self.root: Optional[RTreeNode] = None
+        self._positions: Optional[np.ndarray] = None
+        self._leaf_of: dict[int, RTreeNode] = {}
+        self.n_nodes = 0
+        self.build_time = 0.0
+
+    # ------------------------------------------------------------------
+    # bulk loading (STR)
+    # ------------------------------------------------------------------
+    def bulk_load(self, positions: np.ndarray) -> float:
+        """Build the tree from scratch with Sort-Tile-Recursive packing."""
+        start = time.perf_counter()
+        pts = np.asarray(positions, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
+            raise IndexError_("bulk_load needs a non-empty (n, 3) position array")
+        self._positions = pts
+        ids = np.arange(pts.shape[0], dtype=np.int64)
+        leaf_groups = self._str_partition(ids, pts)
+        leaves = []
+        self._leaf_of = {}
+        for group in leaf_groups:
+            node = RTreeNode(is_leaf=True)
+            node.entries = [int(i) for i in group]
+            node.recompute_mbr(pts)
+            for i in node.entries:
+                self._leaf_of[i] = node
+            leaves.append(node)
+        self.root = self._build_upper_levels(leaves)
+        self.n_nodes = self._count_nodes(self.root)
+        self.build_time = time.perf_counter() - start
+        return self.build_time
+
+    def _str_partition(self, ids: np.ndarray, pts: np.ndarray) -> list[np.ndarray]:
+        """Partition point ids into leaf-sized groups with STR tiling."""
+        capacity = self.fanout
+        n = ids.size
+        n_leaves = int(np.ceil(n / capacity))
+        slabs_x = int(np.ceil(n_leaves ** (1.0 / 3.0)))
+        # Sort by x, slice into vertical slabs.
+        order_x = ids[np.argsort(pts[ids, 0], kind="stable")]
+        slab_size_x = int(np.ceil(n / slabs_x))
+        groups: list[np.ndarray] = []
+        for sx in range(0, n, slab_size_x):
+            slab = order_x[sx:sx + slab_size_x]
+            slabs_y = int(np.ceil(np.ceil(slab.size / capacity) ** 0.5))
+            order_y = slab[np.argsort(pts[slab, 1], kind="stable")]
+            slab_size_y = int(np.ceil(slab.size / max(slabs_y, 1)))
+            for sy in range(0, slab.size, max(slab_size_y, 1)):
+                column = order_y[sy:sy + slab_size_y]
+                order_z = column[np.argsort(pts[column, 2], kind="stable")]
+                for sz in range(0, column.size, capacity):
+                    groups.append(order_z[sz:sz + capacity])
+        return groups
+
+    def _build_upper_levels(self, nodes: list[RTreeNode]) -> RTreeNode:
+        """Pack nodes bottom-up until a single root remains."""
+        if len(nodes) == 1:
+            nodes[0].parent = None
+            return nodes[0]
+        level = nodes
+        while len(level) > 1:
+            # Order parents along x of child centroids for spatial locality.
+            centers = np.array([(n.lo + n.hi) / 2.0 for n in level])
+            order = np.argsort(centers[:, 0], kind="stable")
+            parents = []
+            for start in range(0, len(level), self.fanout):
+                parent = RTreeNode(is_leaf=False)
+                for idx in order[start:start + self.fanout]:
+                    child = level[int(idx)]
+                    child.parent = parent
+                    parent.children.append(child)
+                parent.lo = np.min([c.lo for c in parent.children], axis=0)
+                parent.hi = np.max([c.hi for c in parent.children], axis=0)
+                parents.append(parent)
+            level = parents
+        level[0].parent = None
+        return level[0]
+
+    def _count_nodes(self, node: Optional[RTreeNode]) -> int:
+        if node is None:
+            return 0
+        if node.is_leaf:
+            return 1
+        return 1 + sum(self._count_nodes(child) for child in node.children)
+
+    def _require_built(self) -> RTreeNode:
+        if self.root is None or self._positions is None:
+            raise IndexError_("R-tree has not been bulk loaded")
+        return self.root
+
+    # ------------------------------------------------------------------
+    # dynamic maintenance
+    # ------------------------------------------------------------------
+    def leaf_of(self, entry_id: int) -> RTreeNode:
+        """The leaf currently storing ``entry_id``."""
+        self._require_built()
+        try:
+            return self._leaf_of[int(entry_id)]
+        except KeyError as exc:
+            raise IndexError_(f"entry {entry_id} is not in the R-tree") from exc
+
+    def delete(self, entry_id: int) -> None:
+        """Remove one entry from its leaf and tighten MBRs up the path."""
+        leaf = self.leaf_of(entry_id)
+        leaf.entries.remove(int(entry_id))
+        del self._leaf_of[int(entry_id)]
+        self._tighten_upwards(leaf)
+
+    def insert(self, entry_id: int, point: np.ndarray) -> int:
+        """Insert an entry at ``point``; returns the number of nodes visited."""
+        root = self._require_built()
+        visited = 0
+        node = root
+        while not node.is_leaf:
+            visited += 1
+            best = min(node.children, key=lambda child: (child.enlargement_for(point),
+                                                         float(np.prod(np.maximum(child.hi - child.lo, 0.0)))))
+            node = best
+        visited += 1
+        node.entries.append(int(entry_id))
+        self._leaf_of[int(entry_id)] = node
+        self._enlarge_upwards(node, point)
+        if len(node.entries) > self.fanout:
+            self._split_leaf(node)
+        return visited
+
+    def _enlarge_upwards(self, node: RTreeNode, point: np.ndarray) -> None:
+        current: Optional[RTreeNode] = node
+        while current is not None:
+            current.extend_to_point(point)
+            current = current.parent
+
+    def _tighten_upwards(self, node: RTreeNode) -> None:
+        positions = self._positions
+        current: Optional[RTreeNode] = node
+        while current is not None:
+            current.recompute_mbr(positions)
+            current = current.parent
+
+    def _split_leaf(self, leaf: RTreeNode) -> None:
+        """Split an overflowing leaf along its longest MBR axis (midpoint split)."""
+        positions = self._positions
+        entries = np.asarray(leaf.entries, dtype=np.int64)
+        pts = positions[entries]
+        axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+        order = np.argsort(pts[:, axis], kind="stable")
+        half = entries.size // 2
+        left_ids = entries[order[:half]]
+        right_ids = entries[order[half:]]
+
+        leaf.entries = [int(i) for i in left_ids]
+        sibling = RTreeNode(is_leaf=True)
+        sibling.entries = [int(i) for i in right_ids]
+        for i in sibling.entries:
+            self._leaf_of[i] = sibling
+        leaf.recompute_mbr(positions)
+        sibling.recompute_mbr(positions)
+        self.n_nodes += 1
+
+        parent = leaf.parent
+        if parent is None:
+            # The leaf was the root: grow the tree by one level.
+            new_root = RTreeNode(is_leaf=False)
+            new_root.children = [leaf, sibling]
+            leaf.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_mbr(positions)
+            self.root = new_root
+            self.n_nodes += 1
+            return
+        sibling.parent = parent
+        parent.children.append(sibling)
+        parent.recompute_mbr(positions)
+        if len(parent.children) > self.fanout:
+            self._split_internal(parent)
+
+    def _split_internal(self, node: RTreeNode) -> None:
+        """Split an overflowing internal node along the longest axis of child centres."""
+        positions = self._positions
+        centers = np.array([(c.lo + c.hi) / 2.0 for c in node.children])
+        axis = int(np.argmax(centers.max(axis=0) - centers.min(axis=0)))
+        order = np.argsort(centers[:, axis], kind="stable")
+        half = len(node.children) // 2
+        children = [node.children[int(i)] for i in order]
+        left, right = children[:half], children[half:]
+
+        node.children = left
+        sibling = RTreeNode(is_leaf=False)
+        sibling.children = right
+        for child in right:
+            child.parent = sibling
+        node.recompute_mbr(positions)
+        sibling.recompute_mbr(positions)
+        self.n_nodes += 1
+
+        parent = node.parent
+        if parent is None:
+            new_root = RTreeNode(is_leaf=False)
+            new_root.children = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_mbr(positions)
+            self.root = new_root
+            self.n_nodes += 1
+            return
+        sibling.parent = parent
+        parent.children.append(sibling)
+        parent.recompute_mbr(positions)
+        if len(parent.children) > self.fanout:
+            self._split_internal(parent)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        box: Box3D,
+        positions: np.ndarray | None = None,
+        counters: QueryCounters | None = None,
+        mbr_expansion: float = 0.0,
+    ) -> np.ndarray:
+        """Range query: ids of entries whose position in ``positions`` lies in ``box``.
+
+        ``mbr_expansion`` expands every node MBR during traversal; QU-Trade
+        uses this to account for its grace windows.
+        """
+        root = self._require_built()
+        pts = np.asarray(positions if positions is not None else self._positions)
+        found: list[np.ndarray] = []
+        stack = [root]
+        nodes_visited = 0
+        scanned = 0
+        while stack:
+            node = stack.pop()
+            nodes_visited += 1
+            node_box = Box3D(node.lo - mbr_expansion, node.hi + mbr_expansion) \
+                if np.all(np.isfinite(node.lo)) else None
+            if node_box is None or not node_box.intersects(box):
+                continue
+            if node.is_leaf:
+                if node.entries:
+                    ids = np.asarray(node.entries, dtype=np.int64)
+                    scanned += ids.size
+                    inside = points_in_box(pts[ids], box)
+                    if inside.any():
+                        found.append(ids[inside])
+            else:
+                stack.extend(node.children)
+        if counters is not None:
+            counters.index_nodes_visited += nodes_visited
+            counters.vertices_scanned += scanned
+        return np.sort(np.concatenate(found)) if found else np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        """Number of levels of the tree."""
+        node = self._require_built()
+        levels = 1
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint: MBRs, child/entry lists, and the entry-to-leaf map."""
+        if self.root is None:
+            return 0
+        per_node = 2 * 3 * 8 + 64           # two MBR corners plus object overhead
+        n_entries = len(self._leaf_of)
+        return self.n_nodes * per_node + n_entries * 16 + n_entries * 100

@@ -1,0 +1,159 @@
+"""The RUM-Tree baseline (memo-based R-tree updates, Silva et al., VLDBJ 2009).
+
+The RUM-Tree handles an object's position update by *inserting* the new
+position into the R-tree and merely invalidating (not deleting) the old entry:
+a memo table maps each object to its latest entry, queries filter out obsolete
+entries, and a garbage-collection pass eventually reclaims them.
+
+Section II-A of the OCTOPUS paper argues that under mesh-simulation workloads
+— where every vertex moves at every time step — this strategy degenerates to
+re-inserting the whole dataset each step, "which clearly is slower than
+bulkloading a new index".  This implementation exists to make that comparison
+concrete: every :meth:`RUMTreeExecutor.on_step` inserts one new entry per
+vertex, and once the share of obsolete entries exceeds a threshold the
+executor performs the garbage-collection rebuild.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.executor import ExecutionStrategy
+from ..core.result import QueryCounters, QueryResult
+from ..errors import IndexError_
+from ..mesh import Box3D
+from .rtree import RTree
+
+__all__ = ["RUMTreeExecutor"]
+
+
+class RUMTreeExecutor(ExecutionStrategy):
+    """Memo-based R-tree over the mesh vertices.
+
+    Parameters
+    ----------
+    fanout:
+        R-tree fanout (the paper's R-tree baselines use 110).
+    garbage_threshold:
+        When obsolete entries exceed this multiple of the live entry count,
+        the garbage collector rebuilds the tree from the current positions.
+    """
+
+    name = "rum-tree"
+
+    def __init__(self, fanout: int = 110, garbage_threshold: float = 2.0) -> None:
+        super().__init__()
+        if garbage_threshold <= 0:
+            raise IndexError_("garbage_threshold must be positive")
+        self.fanout = fanout
+        self.garbage_threshold = garbage_threshold
+        self._tree: RTree | None = None
+        #: stored position of every entry key ever inserted (grows until GC)
+        self._stored_positions: np.ndarray | None = None
+        #: memo table: vertex id -> its latest entry key
+        self._memo: np.ndarray | None = None
+        #: vertex id of every entry key
+        self._entry_vertex: np.ndarray | None = None
+        self._n_obsolete = 0
+        #: number of garbage-collection rebuilds performed
+        self.n_garbage_collections = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _build(self) -> float:
+        start = time.perf_counter()
+        self._rebuild_from_current()
+        return time.perf_counter() - start
+
+    def _rebuild_from_current(self) -> None:
+        """Bulk load a fresh tree whose entry keys are exactly the vertex ids."""
+        n = self.mesh.n_vertices
+        self._stored_positions = self.mesh.vertices.copy()
+        self._entry_vertex = np.arange(n, dtype=np.int64)
+        self._memo = np.arange(n, dtype=np.int64)
+        self._n_obsolete = 0
+        self._tree = RTree(fanout=self.fanout)
+        self._tree.bulk_load(self._stored_positions)
+
+    @property
+    def tree(self) -> RTree:
+        if self._tree is None:
+            raise RuntimeError("rum-tree: prepare() has not been called")
+        return self._tree
+
+    @property
+    def n_entries(self) -> int:
+        """Total entries currently stored in the tree (live + obsolete)."""
+        return 0 if self._entry_vertex is None else int(self._entry_vertex.size)
+
+    @property
+    def n_obsolete_entries(self) -> int:
+        """Entries invalidated by a newer version but not yet garbage collected."""
+        return self._n_obsolete
+
+    def on_step(self) -> float:
+        """Insert every vertex's new position and invalidate its old entry."""
+        start = time.perf_counter()
+        mesh = self.mesh
+        n = mesh.n_vertices
+        touched = 0
+
+        if self._n_obsolete >= self.garbage_threshold * n:
+            # Garbage collection: reclaim all obsolete entries at once by
+            # rebuilding from the current positions (the cheapest cleaner for
+            # an all-objects-moved workload).
+            self._rebuild_from_current()
+            self.n_garbage_collections += 1
+            touched += n
+        else:
+            current = mesh.vertices
+            first_new_key = self._stored_positions.shape[0]
+            self._stored_positions = np.vstack([self._stored_positions, current])
+            self._entry_vertex = np.concatenate(
+                [self._entry_vertex, np.arange(n, dtype=np.int64)]
+            )
+            # Old entries become obsolete; the memo now points at the new keys.
+            self._n_obsolete += n
+            self._memo = first_new_key + np.arange(n, dtype=np.int64)
+            tree = self.tree
+            tree._positions = self._stored_positions
+            for vertex_id in range(n):
+                tree.insert(first_new_key + vertex_id, current[vertex_id])
+            touched += n
+
+        elapsed = time.perf_counter() - start
+        self.maintenance_time += elapsed
+        self.maintenance_entries += touched
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, box: Box3D) -> QueryResult:
+        counters = QueryCounters()
+        start = time.perf_counter()
+        keys = self.tree.query(box, self._stored_positions, counters)
+        if keys.size:
+            # Keep only the entries the memo still considers current.
+            vertices = self._entry_vertex[keys]
+            live = self._memo[vertices] == keys
+            vertex_ids = np.unique(vertices[live])
+        else:
+            vertex_ids = keys
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            vertex_ids=vertex_ids, counters=counters, index_time=elapsed, total_time=elapsed
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def memory_overhead_bytes(self) -> int:
+        if self._tree is None:
+            return 0
+        stored = 0 if self._stored_positions is None else int(self._stored_positions.nbytes)
+        memo = 0 if self._memo is None else int(self._memo.nbytes)
+        return self.tree.memory_bytes() + stored + memo

@@ -1,0 +1,31 @@
+"""OCTOPUS core: the paper's primary contribution."""
+
+from .approximation import ApproximationPoint, evaluate_surface_approximation
+from .cost_model import CostModel, calibrate_cost_model
+from .crawler import CrawlOutcome, crawl
+from .directed_walk import WalkOutcome, directed_walk
+from .executor import ExecutionStrategy
+from .octopus import OctopusExecutor
+from .octopus_con import OctopusConExecutor
+from .result import QueryCounters, QueryResult
+from .surface_index import SurfaceIndex, SurfaceProbeOutcome
+from .uniform_grid import UniformGrid
+
+__all__ = [
+    "ApproximationPoint",
+    "CostModel",
+    "CrawlOutcome",
+    "ExecutionStrategy",
+    "OctopusConExecutor",
+    "OctopusExecutor",
+    "QueryCounters",
+    "QueryResult",
+    "SurfaceIndex",
+    "SurfaceProbeOutcome",
+    "UniformGrid",
+    "WalkOutcome",
+    "calibrate_cost_model",
+    "crawl",
+    "directed_walk",
+    "evaluate_surface_approximation",
+]

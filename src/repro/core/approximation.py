@@ -1,0 +1,109 @@
+"""Surface approximation analysis helpers (Section IV-H2 / Figure 12).
+
+The optimisation itself lives in :class:`~repro.core.octopus.OctopusExecutor`
+(the ``surface_sample_fraction`` parameter).  This module provides the
+measurement side: given a mesh and a workload, run OCTOPUS at several
+approximation levels and report the accuracy (recall against the exact result)
+and the speedup relative to the unapproximated execution — the two curves of
+Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..mesh import Box3D, PolyhedralMesh
+from .octopus import OctopusExecutor
+
+__all__ = ["ApproximationPoint", "evaluate_surface_approximation"]
+
+
+@dataclass(frozen=True)
+class ApproximationPoint:
+    """Accuracy and cost of one approximation level.
+
+    Attributes
+    ----------
+    fraction:
+        Fraction of the surface vertices probed (1.0 = exact OCTOPUS).
+    accuracy:
+        Mean recall against the exact result over the workload.
+    mean_probe_work:
+        Mean number of surface vertices probed per query.
+    mean_total_work:
+        Mean total vertex accesses per query (probe + walk + crawl).
+    speedup_vs_exact:
+        Exact OCTOPUS total work divided by this level's total work.
+    """
+
+    fraction: float
+    accuracy: float
+    mean_probe_work: float
+    mean_total_work: float
+    speedup_vs_exact: float
+
+
+def evaluate_surface_approximation(
+    mesh: PolyhedralMesh,
+    queries: Sequence[Box3D],
+    fractions: Sequence[float],
+    seed: int = 0,
+) -> list[ApproximationPoint]:
+    """Run OCTOPUS at several surface-approximation levels over a workload.
+
+    Parameters
+    ----------
+    mesh:
+        The dataset to query.
+    queries:
+        The range-query workload.
+    fractions:
+        Approximation levels to evaluate, each in (0, 1]; the exact executor
+        (fraction 1.0) is always evaluated as the reference.
+    seed:
+        Seed for the sampled surface subsets.
+    """
+    if not queries:
+        raise ExperimentError("need at least one query")
+    if not fractions:
+        raise ExperimentError("need at least one approximation fraction")
+
+    exact = OctopusExecutor()
+    exact.prepare(mesh)
+    exact_results = [exact.query(box) for box in queries]
+    exact_work = float(
+        np.mean([r.counters.total_vertex_accesses() for r in exact_results])
+    ) or 1.0
+
+    points: list[ApproximationPoint] = []
+    for fraction in fractions:
+        if not 0.0 < fraction <= 1.0:
+            raise ExperimentError("approximation fractions must lie in (0, 1]")
+        if fraction >= 1.0:
+            approx_results = exact_results
+        else:
+            executor = OctopusExecutor(surface_sample_fraction=fraction, seed=seed)
+            executor.prepare(mesh)
+            approx_results = [executor.query(box) for box in queries]
+        recalls = [
+            approx.recall_against(reference)
+            for approx, reference in zip(approx_results, exact_results)
+        ]
+        probe_work = float(np.mean([r.counters.surface_probed for r in approx_results]))
+        total_work = float(
+            np.mean([r.counters.total_vertex_accesses() for r in approx_results])
+        )
+        points.append(
+            ApproximationPoint(
+                fraction=float(fraction),
+                accuracy=float(np.mean(recalls)),
+                mean_probe_work=probe_work,
+                mean_total_work=total_work,
+                speedup_vs_exact=exact_work / max(total_work, 1.0),
+            )
+        )
+    return points

@@ -1,0 +1,105 @@
+"""The directed walk phase (Section IV-D).
+
+When no surface vertex lies inside the query box — either because the query is
+fully enclosed in the mesh interior or because it misses the mesh entirely —
+OCTOPUS walks from the surface vertex closest to the query, greedily stepping
+to whichever neighbour is nearest to the query box, until it either enters the
+box (success: the reached vertex seeds the crawl) or can no longer get closer
+(the query does not intersect the mesh; the result is empty).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh import Box3D, PolyhedralMesh, point_box_distance, points_box_distance
+from .result import QueryCounters
+
+__all__ = ["directed_walk", "WalkOutcome"]
+
+
+class WalkOutcome:
+    """Result of a directed walk.
+
+    Attributes
+    ----------
+    found_id:
+        Id of the first vertex reached inside the query box, or ``None`` when
+        the walk got stuck (no neighbour closer to the box than the current
+        vertex), which Algorithm 1 interprets as "the query misses the mesh".
+    n_steps:
+        Number of vertices stepped through (including the start).
+    path:
+        Vertex ids visited, in order (useful for debugging and visual examples).
+    """
+
+    __slots__ = ("found_id", "n_steps", "path")
+
+    def __init__(self, found_id: int | None, n_steps: int, path: list[int]) -> None:
+        self.found_id = found_id
+        self.n_steps = n_steps
+        self.path = path
+
+
+def directed_walk(
+    mesh: PolyhedralMesh,
+    box: Box3D,
+    start_vertex: int,
+    counters: QueryCounters | None = None,
+    max_steps: int | None = None,
+) -> WalkOutcome:
+    """Greedy walk along mesh edges towards the query box.
+
+    Parameters
+    ----------
+    mesh:
+        Mesh providing adjacency and *current* positions.
+    box:
+        Target query box.
+    start_vertex:
+        Vertex to start walking from (typically the surface vertex closest to
+        the box, or a vertex suggested by the stale grid in OCTOPUS-CON).
+    counters:
+        Optional counter record updated in place.
+    max_steps:
+        Safety bound on the number of steps (defaults to the vertex count, so
+        the walk always terminates even on adversarial inputs).
+    """
+    adjacency = mesh.adjacency
+    positions = mesh.vertices
+    limit = max_steps if max_steps is not None else mesh.n_vertices + 1
+
+    current = int(start_vertex)
+    current_distance = point_box_distance(positions[current], box)
+    n_steps = 1
+    n_distance = 1
+    path = [current]
+
+    found: int | None = None
+    if current_distance == 0.0:
+        found = current
+    else:
+        while n_steps < limit:
+            neighbors = adjacency.neighbors(current)
+            if neighbors.size == 0:
+                break
+            distances = points_box_distance(positions[neighbors], box)
+            n_distance += int(neighbors.size)
+            best = int(np.argmin(distances))
+            best_distance = float(distances[best])
+            if best_distance >= current_distance:
+                # No neighbour is strictly closer: the walk is stuck, meaning
+                # the query box does not intersect the mesh (Algorithm 1).
+                break
+            current = int(neighbors[best])
+            current_distance = best_distance
+            n_steps += 1
+            path.append(current)
+            if current_distance == 0.0:
+                found = current
+                break
+
+    if counters is not None:
+        counters.walk_vertices_visited += n_steps
+        counters.walk_distance_computations += n_distance
+    return WalkOutcome(found, n_steps, path)

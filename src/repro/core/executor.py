@@ -1,0 +1,92 @@
+"""The common interface every range-query execution strategy implements.
+
+The experiment harness drives OCTOPUS, OCTOPUS-CON and all baselines through
+the same three-call protocol that mirrors the simulation timeline of
+Figure 1(e):
+
+1. :meth:`ExecutionStrategy.prepare` — once, after the mesh is loaded
+   (preprocessing such as building the surface index or the initial R-tree;
+   reported separately, not part of query response time, as in Section V-A);
+2. :meth:`ExecutionStrategy.on_step` — after every simulation step has
+   overwritten the vertex positions (index maintenance or rebuild; *included*
+   in the total query response time, as in Section V-A);
+3. :meth:`ExecutionStrategy.query` — once per monitoring range query.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..mesh import Box3D, PolyhedralMesh
+from .result import QueryResult
+
+__all__ = ["ExecutionStrategy"]
+
+
+class ExecutionStrategy(ABC):
+    """Abstract base class for range-query execution strategies."""
+
+    #: short machine-friendly identifier used in reports ("octopus", "linear-scan", ...)
+    name: str = "strategy"
+
+    def __init__(self) -> None:
+        self._mesh: PolyhedralMesh | None = None
+        #: seconds spent in prepare(); excluded from query response time
+        self.preprocessing_time = 0.0
+        #: cumulative seconds spent in on_step(); included in query response time
+        self.maintenance_time = 0.0
+        #: cumulative number of index entries touched by maintenance
+        self.maintenance_entries = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def mesh(self) -> PolyhedralMesh:
+        if self._mesh is None:
+            raise RuntimeError(f"{self.name}: prepare() has not been called")
+        return self._mesh
+
+    def prepare(self, mesh: PolyhedralMesh) -> float:
+        """Bind the strategy to a mesh and build any one-time structures.
+
+        Returns the preprocessing time in seconds.
+        """
+        self._mesh = mesh
+        self.preprocessing_time = self._build()
+        return self.preprocessing_time
+
+    def _build(self) -> float:
+        """Hook for subclasses: build one-time structures, return seconds spent."""
+        return 0.0
+
+    def on_step(self) -> float:
+        """React to the simulation having updated all vertex positions in place.
+
+        Returns the maintenance seconds spent for this step; the default is a
+        no-op (OCTOPUS and the linear scan need no maintenance).
+        """
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def query(self, box: Box3D) -> QueryResult:
+        """Answer one 3D range query against the current vertex positions."""
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def memory_overhead_bytes(self) -> int:
+        """Bytes of auxiliary structures beyond the mesh itself (0 by default)."""
+        return 0
+
+    def describe(self) -> dict:
+        """Small metadata record used by reports."""
+        return {
+            "name": self.name,
+            "preprocessing_time": self.preprocessing_time,
+            "maintenance_time": self.maintenance_time,
+            "memory_overhead_bytes": self.memory_overhead_bytes(),
+        }

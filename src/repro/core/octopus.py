@@ -1,0 +1,170 @@
+"""The OCTOPUS query execution strategy (Section IV, Algorithm 1).
+
+A query is answered in three phases:
+
+1. **Surface probe** — every vertex in the surface index is tested against the
+   query box; the ones inside become crawl start vertices.  If none is inside,
+   the probe also reports the surface vertex closest to the box.
+2. **Directed walk** — only when the probe found no start vertex: walk from
+   the closest surface vertex greedily towards the box.  Reaching a vertex
+   inside the box yields a single start vertex; getting stuck means the query
+   does not intersect the mesh and the result is empty.
+3. **Crawling** — breadth-first traversal of mesh edges from the start
+   vertices, restricted to the query box.
+
+Because phases 1–3 read vertex positions directly from the mesh at query time,
+OCTOPUS needs **no maintenance whatsoever** when the simulation deforms the
+mesh; only the rare restructuring of connectivity requires updating the
+surface index (handled in :meth:`OctopusExecutor.on_step`).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import QueryError
+from ..mesh import Box3D, PolyhedralMesh
+from .crawler import crawl
+from .directed_walk import directed_walk
+from .executor import ExecutionStrategy
+from .result import QueryCounters, QueryResult
+from .surface_index import SurfaceIndex
+
+__all__ = ["OctopusExecutor"]
+
+
+class OctopusExecutor(ExecutionStrategy):
+    """Range-query execution on dynamic meshes via surface probe + crawl.
+
+    Parameters
+    ----------
+    surface_sample_fraction:
+        Optional surface-approximation factor in (0, 1]: probe only this
+        fraction of the surface vertices (chosen uniformly at random once, at
+        prepare time).  ``None`` or 1.0 probes the full surface and guarantees
+        exact results (Section IV-H2 / Figure 12 trade accuracy for speed).
+    seed:
+        Seed for the approximation sample.
+    """
+
+    name = "octopus"
+
+    def __init__(self, surface_sample_fraction: float | None = None, seed: int = 0) -> None:
+        super().__init__()
+        if surface_sample_fraction is not None and not 0.0 < surface_sample_fraction <= 1.0:
+            raise QueryError("surface_sample_fraction must lie in (0, 1]")
+        self.surface_sample_fraction = surface_sample_fraction
+        self.seed = seed
+        self._surface_index: SurfaceIndex | None = None
+        self._probe_ids: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _build(self) -> float:
+        start = time.perf_counter()
+        self._surface_index = SurfaceIndex(self.mesh)
+        self._refresh_probe_sample()
+        return time.perf_counter() - start
+
+    def _refresh_probe_sample(self) -> None:
+        """Recompute which surface vertices the probe will examine."""
+        assert self._surface_index is not None
+        ids = self._surface_index.surface_ids()
+        if self.surface_sample_fraction is None or self.surface_sample_fraction >= 1.0:
+            self._probe_ids = ids
+            return
+        rng = np.random.default_rng(self.seed)
+        sample_size = max(1, int(round(ids.size * self.surface_sample_fraction)))
+        self._probe_ids = np.sort(rng.choice(ids, size=sample_size, replace=False))
+
+    @property
+    def surface_index(self) -> SurfaceIndex:
+        if self._surface_index is None:
+            raise RuntimeError("octopus: prepare() has not been called")
+        return self._surface_index
+
+    @property
+    def is_approximate(self) -> bool:
+        """True when the probe examines only a sample of the surface."""
+        return self.surface_sample_fraction is not None and self.surface_sample_fraction < 1.0
+
+    def on_step(self) -> float:
+        """Maintenance after a simulation step.
+
+        Mesh deformation requires nothing.  If the mesh was restructured since
+        the index was built, the surface index is reconciled with insert and
+        delete operations (the paper's hash-table maintenance) and the time is
+        charged as maintenance.
+        """
+        if self._surface_index is None or not self._surface_index.is_stale():
+            return 0.0
+        start = time.perf_counter()
+        inserted, removed = self._surface_index.refresh_from_mesh()
+        self._refresh_probe_sample()
+        elapsed = time.perf_counter() - start
+        self.maintenance_time += elapsed
+        self.maintenance_entries += inserted + removed
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # query execution (Algorithm 1)
+    # ------------------------------------------------------------------
+    def query(self, box: Box3D) -> QueryResult:
+        mesh = self.mesh
+        counters = QueryCounters()
+        total_start = time.perf_counter()
+
+        # Phase 1: surface probe over the (possibly sampled) surface vertex set.
+        probe_start = time.perf_counter()
+        probe_ids = self._probe_ids if self._probe_ids is not None else self.surface_index.surface_ids()
+        counters.surface_probed += int(probe_ids.size)
+        start_vertices: np.ndarray
+        closest_id: int | None = None
+        if probe_ids.size:
+            positions = mesh.vertices[probe_ids]
+            inside = np.all((positions >= box.lo) & (positions <= box.hi), axis=1)
+            start_vertices = probe_ids[inside]
+            if start_vertices.size == 0:
+                delta = np.maximum(box.lo - positions, 0.0) + np.maximum(positions - box.hi, 0.0)
+                distances = np.einsum("ij,ij->i", delta, delta)
+                closest_id = int(probe_ids[np.argmin(distances)])
+        else:
+            start_vertices = np.empty(0, dtype=np.int64)
+        probe_time = time.perf_counter() - probe_start
+
+        # Phase 2: directed walk, only when the probe produced no start vertex.
+        walk_time = 0.0
+        if start_vertices.size == 0 and closest_id is not None:
+            walk_start = time.perf_counter()
+            walk = directed_walk(mesh, box, closest_id, counters)
+            walk_time = time.perf_counter() - walk_start
+            if walk.found_id is not None:
+                start_vertices = np.asarray([walk.found_id], dtype=np.int64)
+
+        # Phase 3: crawling from all start vertices.
+        crawl_start = time.perf_counter()
+        outcome = crawl(mesh, box, start_vertices, counters)
+        crawl_time = time.perf_counter() - crawl_start
+
+        total_time = time.perf_counter() - total_start
+        return QueryResult(
+            vertex_ids=outcome.result_ids,
+            counters=counters,
+            probe_time=probe_time,
+            walk_time=walk_time,
+            crawl_time=crawl_time,
+            total_time=total_time,
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def memory_overhead_bytes(self) -> int:
+        """Surface index plus the crawl's visited bitmap (per-query scratch)."""
+        if self._surface_index is None:
+            return 0
+        crawl_scratch = self.mesh.n_vertices  # one byte per vertex for the visited mask
+        return self._surface_index.memory_bytes() + crawl_scratch

@@ -1,0 +1,178 @@
+"""The surface index (Section IV-E).
+
+OCTOPUS's only auxiliary data structure is a hash table of the vertices on the
+mesh surface.  It is built once from the global face list, is completely
+oblivious to vertex positions (so mesh deformation never requires
+maintenance), and only changes when the mesh is *restructured* — cells are
+split or merged — in which case individual vertex ids are inserted into or
+removed from the table.
+
+The implementation keeps two views of the same set:
+
+* ``_table`` — a Python dict keyed by vertex id, mirroring the paper's hash
+  table of pointers and giving O(1) insert/delete/membership;
+* ``_ids_cache`` — a NumPy array of the ids, rebuilt lazily after
+  modifications, which lets the surface probe gather all surface positions in
+  one vectorised operation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import IndexError_
+from ..mesh import Box3D, PolyhedralMesh, points_box_distance, points_in_box
+from .result import QueryCounters
+
+__all__ = ["SurfaceIndex", "SurfaceProbeOutcome"]
+
+
+class SurfaceProbeOutcome:
+    """Result of probing the surface against one query box.
+
+    Attributes
+    ----------
+    inside_ids:
+        Surface vertex ids whose current position lies inside the query.
+    closest_id:
+        The surface vertex closest to the query (only computed when no surface
+        vertex is inside, mirroring Algorithm 1), else ``None``.
+    closest_distance:
+        Distance of ``closest_id`` to the query box.
+    n_probed:
+        Number of surface vertices examined.
+    """
+
+    __slots__ = ("inside_ids", "closest_id", "closest_distance", "n_probed")
+
+    def __init__(
+        self,
+        inside_ids: np.ndarray,
+        closest_id: int | None,
+        closest_distance: float,
+        n_probed: int,
+    ) -> None:
+        self.inside_ids = inside_ids
+        self.closest_id = closest_id
+        self.closest_distance = closest_distance
+        self.n_probed = n_probed
+
+
+class SurfaceIndex:
+    """Hash-table index over the vertices of the mesh surface."""
+
+    def __init__(self, mesh: PolyhedralMesh) -> None:
+        self._mesh = mesh
+        start = time.perf_counter()
+        surface_ids = mesh.surface_vertices()
+        self._table: dict[int, bool] = {int(v): True for v in surface_ids}
+        self._ids_cache: np.ndarray | None = np.asarray(surface_ids, dtype=np.int64)
+        self._connectivity_version = mesh.connectivity_version
+        #: seconds spent building the index (reported as preprocessing time)
+        self.build_time = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # contents
+    # ------------------------------------------------------------------
+    @property
+    def mesh(self) -> PolyhedralMesh:
+        return self._mesh
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return int(vertex_id) in self._table
+
+    def surface_ids(self) -> np.ndarray:
+        """The surface vertex ids as a sorted NumPy array (cached)."""
+        if self._ids_cache is None:
+            self._ids_cache = np.asarray(sorted(self._table), dtype=np.int64)
+        return self._ids_cache
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint: one hash entry plus one cached id per vertex."""
+        # A CPython dict entry costs ~100 bytes; the id cache costs 8 bytes/entry.
+        return len(self._table) * 100 + len(self._table) * 8
+
+    # ------------------------------------------------------------------
+    # maintenance (only needed on mesh restructuring)
+    # ------------------------------------------------------------------
+    def insert(self, vertex_ids: Iterable[int]) -> int:
+        """Insert vertices that joined the surface; returns how many were new."""
+        added = 0
+        for vertex_id in vertex_ids:
+            key = int(vertex_id)
+            if key not in self._table:
+                self._table[key] = True
+                added += 1
+        if added:
+            self._ids_cache = None
+        return added
+
+    def remove(self, vertex_ids: Iterable[int]) -> int:
+        """Remove vertices that left the surface; returns how many were present."""
+        removed = 0
+        for vertex_id in vertex_ids:
+            if self._table.pop(int(vertex_id), None) is not None:
+                removed += 1
+        if removed:
+            self._ids_cache = None
+        return removed
+
+    def refresh_from_mesh(self) -> tuple[int, int]:
+        """Reconcile the index with the mesh after a restructuring event.
+
+        Computes the difference between the current table and the mesh's
+        recomputed surface and applies the minimal set of inserts and deletes
+        (the paper's hash-table maintenance).  Returns ``(inserted, removed)``.
+        """
+        current = set(self._table)
+        fresh = set(int(v) for v in self._mesh.surface_vertices())
+        inserted = self.insert(fresh - current)
+        removed = self.remove(current - fresh)
+        self._connectivity_version = self._mesh.connectivity_version
+        return inserted, removed
+
+    def is_stale(self) -> bool:
+        """True when the mesh connectivity changed since the last refresh."""
+        return self._connectivity_version != self._mesh.connectivity_version
+
+    # ------------------------------------------------------------------
+    # the surface probe (Section IV-C)
+    # ------------------------------------------------------------------
+    def probe(self, box: Box3D, counters: QueryCounters | None = None) -> SurfaceProbeOutcome:
+        """Scan all surface vertices and split them into inside / closest-outside.
+
+        The probe always reads the *current* vertex positions from the mesh,
+        so it is correct regardless of how far vertices moved since the index
+        was built.
+        """
+        if self.is_stale():
+            raise IndexError_(
+                "surface index is stale: the mesh was restructured; call refresh_from_mesh()"
+            )
+        ids = self.surface_ids()
+        n_probed = int(ids.size)
+        if counters is not None:
+            counters.surface_probed += n_probed
+        if n_probed == 0:
+            return SurfaceProbeOutcome(np.empty(0, dtype=np.int64), None, float("inf"), 0)
+        positions = self._mesh.vertices[ids]
+        inside_mask = points_in_box(positions, box)
+        inside_ids = ids[inside_mask]
+        if inside_ids.size:
+            return SurfaceProbeOutcome(inside_ids, None, 0.0, n_probed)
+        distances = points_box_distance(positions, box)
+        if counters is not None:
+            counters.walk_distance_computations += 0  # distances are part of the probe pass
+        closest_pos = int(np.argmin(distances))
+        return SurfaceProbeOutcome(
+            np.empty(0, dtype=np.int64),
+            int(ids[closest_pos]),
+            float(distances[closest_pos]),
+            n_probed,
+        )

@@ -1,0 +1,168 @@
+"""A uniform 3D grid over vertex positions.
+
+Two consumers share this structure:
+
+* **OCTOPUS-CON** (Section IV-F) builds the grid once before the simulation
+  and never updates it — a deliberately *stale* index whose only job is to
+  suggest a starting vertex near the query centre for the directed walk;
+* the **grid baseline** rebuilds it every time step and answers range queries
+  from it directly (candidate cells plus a filter step).
+
+The grid stores, for each cell, the ids of the vertices whose position fell in
+that cell at build time, in CSR form (cell offsets + a flat id array).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import IndexError_
+from ..mesh import Box3D, points_in_box
+from .result import QueryCounters
+
+__all__ = ["UniformGrid"]
+
+
+class UniformGrid:
+    """Uniform grid binning of an ``(n, 3)`` point set.
+
+    Parameters
+    ----------
+    resolution:
+        Number of cells per axis; the total cell count is ``resolution ** 3``
+        (the paper reports grid sizes as this total, e.g. 8, 216, 1000 cells).
+    """
+
+    def __init__(self, resolution: int = 10) -> None:
+        if resolution < 1:
+            raise IndexError_("grid resolution must be at least 1")
+        self.resolution = int(resolution)
+        self._built = False
+        self._lo: np.ndarray | None = None
+        self._cell_size: np.ndarray | None = None
+        self._cell_offsets: np.ndarray | None = None
+        self._cell_members: np.ndarray | None = None
+        self.build_time = 0.0
+        self.n_points = 0
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def build(self, positions: np.ndarray) -> float:
+        """(Re)build the grid from the given positions; returns build seconds."""
+        start = time.perf_counter()
+        pts = np.asarray(positions, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
+            raise IndexError_("grid build needs a non-empty (n, 3) position array")
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        self._lo = lo
+        self._cell_size = span / self.resolution
+        cell_ids = self._cell_of(pts)
+        order = np.argsort(cell_ids, kind="stable")
+        sorted_cells = cell_ids[order]
+        counts = np.bincount(sorted_cells, minlength=self.resolution**3)
+        self._cell_offsets = np.concatenate([[0], np.cumsum(counts)])
+        self._cell_members = order.astype(np.int64)
+        self.n_points = pts.shape[0]
+        self._built = True
+        self.build_time = time.perf_counter() - start
+        return self.build_time
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexError_("grid has not been built yet")
+
+    def _cell_coords(self, points: np.ndarray) -> np.ndarray:
+        """Integer (ix, iy, iz) cell coordinates of each point, clamped to the grid."""
+        coords = np.floor((points - self._lo) / self._cell_size).astype(np.int64)
+        return np.clip(coords, 0, self.resolution - 1)
+
+    def _cell_of(self, points: np.ndarray) -> np.ndarray:
+        """Flat cell index of each point."""
+        coords = self._cell_coords(np.atleast_2d(points))
+        r = self.resolution
+        return coords[:, 0] + r * (coords[:, 1] + r * coords[:, 2])
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def cell_vertices(self, flat_cell: int) -> np.ndarray:
+        """Vertex ids stored in one grid cell."""
+        self._require_built()
+        return self._cell_members[self._cell_offsets[flat_cell]:self._cell_offsets[flat_cell + 1]]
+
+    def n_cells(self) -> int:
+        return self.resolution**3
+
+    def any_vertex_near(
+        self, point: np.ndarray, counters: QueryCounters | None = None
+    ) -> int | None:
+        """A vertex id from the cell containing ``point``, or from the nearest
+        non-empty cell ring when that cell is empty (Section IV-F).
+
+        Returns ``None`` only when the grid is empty.
+        """
+        self._require_built()
+        target = self._cell_coords(np.atleast_2d(np.asarray(point, dtype=np.float64)))[0]
+        r = self.resolution
+        max_ring = r  # expanding rings eventually cover the whole grid
+        for ring in range(max_ring + 1):
+            lo = np.maximum(target - ring, 0)
+            hi = np.minimum(target + ring, r - 1)
+            xs = np.arange(lo[0], hi[0] + 1)
+            ys = np.arange(lo[1], hi[1] + 1)
+            zs = np.arange(lo[2], hi[2] + 1)
+            gx, gy, gz = np.meshgrid(xs, ys, zs, indexing="ij")
+            coords = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+            if ring > 0:
+                # Only the shell of the ring is new.
+                on_shell = np.any(np.abs(coords - target) == ring, axis=1)
+                coords = coords[on_shell]
+            flat = coords[:, 0] + r * (coords[:, 1] + r * coords[:, 2])
+            if counters is not None:
+                counters.index_nodes_visited += int(flat.size)
+            counts = self._cell_offsets[flat + 1] - self._cell_offsets[flat]
+            non_empty = flat[counts > 0]
+            if non_empty.size:
+                return int(self._cell_members[self._cell_offsets[non_empty[0]]])
+        return None
+
+    def query_candidates(self, box: Box3D, counters: QueryCounters | None = None) -> np.ndarray:
+        """Vertex ids stored in every cell overlapping ``box`` (unfiltered)."""
+        self._require_built()
+        lo_cell = self._cell_coords(np.atleast_2d(box.lo))[0]
+        hi_cell = self._cell_coords(np.atleast_2d(box.hi))[0]
+        r = self.resolution
+        xs = np.arange(lo_cell[0], hi_cell[0] + 1)
+        ys = np.arange(lo_cell[1], hi_cell[1] + 1)
+        zs = np.arange(lo_cell[2], hi_cell[2] + 1)
+        gx, gy, gz = np.meshgrid(xs, ys, zs, indexing="ij")
+        flat = (gx + r * (gy + r * gz)).ravel()
+        if counters is not None:
+            counters.index_nodes_visited += int(flat.size)
+        pieces = [
+            self._cell_members[self._cell_offsets[c]:self._cell_offsets[c + 1]] for c in flat
+        ]
+        return np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+
+    def query(
+        self, box: Box3D, positions: np.ndarray, counters: QueryCounters | None = None
+    ) -> np.ndarray:
+        """Exact range query: candidate gathering plus a position filter."""
+        candidates = self.query_candidates(box, counters)
+        if candidates.size == 0:
+            return candidates
+        if counters is not None:
+            counters.vertices_scanned += int(candidates.size)
+        inside = points_in_box(np.asarray(positions)[candidates], box)
+        return np.sort(candidates[inside])
+
+    def memory_bytes(self) -> int:
+        """Approximate footprint of the offsets and member arrays."""
+        if not self._built:
+            return 0
+        return int(self._cell_offsets.nbytes + self._cell_members.nbytes)

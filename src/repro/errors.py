@@ -1,0 +1,44 @@
+"""Exception hierarchy for the OCTOPUS reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses communicate which
+subsystem rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class MeshError(ReproError):
+    """Raised when a mesh is structurally invalid or an operation on it fails."""
+
+
+class MeshConnectivityError(MeshError):
+    """Raised when cell/vertex connectivity references are inconsistent."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric inputs (degenerate boxes, bad shapes)."""
+
+
+class IndexError_(ReproError):
+    """Raised when a spatial index is misused (e.g. queried before building)."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed range queries."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation is configured or driven incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a query workload cannot be generated as requested."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver receives inconsistent parameters."""

@@ -1,0 +1,39 @@
+"""Experiment harness: datasets, comparison plumbing, per-figure drivers, reporting."""
+
+from . import figures
+from .datasets import (
+    PROFILES,
+    animation_sequences,
+    earthquake_pair,
+    neuron_largest,
+    neuron_series,
+)
+from .harness import (
+    PAPER_COMPARISON,
+    comparison_rows,
+    fixed_workload_provider,
+    make_strategy,
+    per_step_workload_provider,
+    run_comparison,
+    strategy_suite,
+)
+from .report import format_table, format_value, print_table
+
+__all__ = [
+    "PAPER_COMPARISON",
+    "PROFILES",
+    "animation_sequences",
+    "comparison_rows",
+    "earthquake_pair",
+    "figures",
+    "fixed_workload_provider",
+    "format_table",
+    "format_value",
+    "make_strategy",
+    "neuron_largest",
+    "neuron_series",
+    "per_step_workload_provider",
+    "print_table",
+    "run_comparison",
+    "strategy_suite",
+]

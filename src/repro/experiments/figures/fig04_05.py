@@ -1,0 +1,36 @@
+"""Figures 4 and 5: dataset and microbenchmark characterisation tables."""
+
+from __future__ import annotations
+
+from ...workloads import NEUROSCIENCE_BENCHMARKS
+from ..datasets import neuron_series
+
+__all__ = ["figure4_rows", "figure5_rows"]
+
+
+def figure4_rows(profile: str = "small") -> list[dict]:
+    """Figure 4: characterisation of the neuroscience dataset series.
+
+    One row per level of detail with the columns the paper tabulates: number
+    of tetrahedra, number of vertices, mesh degree and surface-to-volume
+    ratio (sizes are in MB rather than GB because the meshes are scaled down).
+    """
+    rows = []
+    for mesh in neuron_series(profile):
+        characterization = mesh.characterize()
+        rows.append(
+            {
+                "dataset": characterization["name"],
+                "size_mb": characterization["memory_bytes"] / 1e6,
+                "n_tetrahedra": characterization["n_tetrahedra"],
+                "n_vertices": characterization["n_vertices"],
+                "mesh_degree": characterization["mesh_degree"],
+                "surface_to_volume": characterization["surface_to_volume"],
+            }
+        )
+    return rows
+
+
+def figure5_rows() -> list[dict]:
+    """Figure 5: the four neuroscience microbenchmarks (definitions, not measurements)."""
+    return [benchmark.describe() for benchmark in NEUROSCIENCE_BENCHMARKS]

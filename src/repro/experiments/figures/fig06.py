@@ -1,0 +1,66 @@
+"""Figure 6: benchmark comparison of OCTOPUS against the baselines.
+
+Figure 6(a) compares the total query response time of OCTOPUS, the linear
+scan, the throwaway Octree, the LUR-Tree and QU-Trade on the four
+neuroscience microbenchmarks; Figure 6(b) compares their memory overhead.
+Both come out of the same simulation run, so :func:`figure6` returns rows that
+contain the response-time and the footprint columns together.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...mesh import PolyhedralMesh
+from ...simulation import RandomWalkDeformation
+from ...workloads import NEUROSCIENCE_BENCHMARKS, Microbenchmark, workload_for_step
+from ..datasets import neuron_largest
+from ..harness import PAPER_COMPARISON, comparison_rows, run_comparison, strategy_suite
+
+__all__ = ["figure6", "run_microbenchmark"]
+
+
+def run_microbenchmark(
+    mesh: PolyhedralMesh,
+    benchmark: Microbenchmark,
+    n_steps: int = 4,
+    strategies: Sequence[str] = PAPER_COMPARISON,
+    deformation_amplitude: float = 0.0005,
+    seed: int = 0,
+) -> list[dict]:
+    """Run one Figure 5 microbenchmark and return one comparison row per strategy."""
+    working_mesh = mesh.copy()
+
+    def provider(current_mesh, step):
+        return workload_for_step(current_mesh, benchmark, step, seed=seed).boxes
+
+    report = run_comparison(
+        mesh=working_mesh,
+        strategies=strategy_suite(strategies),
+        deformation=RandomWalkDeformation(amplitude=deformation_amplitude, seed=seed),
+        n_steps=n_steps,
+        query_provider=provider,
+    )
+    rows = comparison_rows(report, baseline="linear-scan")
+    for row in rows:
+        row["benchmark"] = benchmark.benchmark_id
+    return rows
+
+
+def figure6(
+    profile: str = "small",
+    n_steps: int = 4,
+    strategies: Sequence[str] = PAPER_COMPARISON,
+    benchmarks: Sequence[Microbenchmark] = NEUROSCIENCE_BENCHMARKS,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 6(a) and 6(b): all four microbenchmarks on the largest neuron mesh."""
+    mesh = neuron_largest(profile)
+    rows: list[dict] = []
+    for benchmark in benchmarks:
+        rows.extend(
+            run_microbenchmark(
+                mesh, benchmark, n_steps=n_steps, strategies=strategies, seed=seed
+            )
+        )
+    return rows

@@ -1,0 +1,103 @@
+"""Figure 9: OCTOPUS-CON on convex earthquake meshes.
+
+* (a) total query response time of OCTOPUS-CON, OCTOPUS and the linear scan
+  on the SF2 (coarse) and SF1 (fine) convex basin meshes;
+* (b) phase breakdown of OCTOPUS-CON vs OCTOPUS (surface probe / directed
+  walk / crawling);
+* (c) directed-walk cost (vertices accessed) as a function of the stale grid
+  resolution;
+* (d) grid memory overhead as a function of the grid resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...core import OctopusConExecutor
+from ...simulation import AffineDeformation
+from ...workloads import random_query_workload
+from ..datasets import earthquake_pair
+from ..harness import fixed_workload_provider, run_comparison, strategy_suite
+
+__all__ = ["figure9_convex_comparison", "figure9_grid_resolution"]
+
+_STRATEGIES = ("octopus-con", "octopus", "linear-scan")
+
+
+def figure9_convex_comparison(
+    profile: str = "small",
+    n_steps: int = 3,
+    queries_per_step: int = 8,
+    selectivity: float = 0.001,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 9(a, b): the convex-mesh comparison with per-phase breakdown."""
+    rows = []
+    for mesh in earthquake_pair(profile):
+        workload = random_query_workload(
+            mesh, selectivity=selectivity, n_queries=queries_per_step, seed=seed
+        )
+        report = run_comparison(
+            mesh=mesh.copy(),
+            strategies=strategy_suite(_STRATEGIES),
+            deformation=AffineDeformation(
+                stretch_amplitude=0.05, shear_amplitude=0.02, rotation_amplitude=0.05
+            ),
+            n_steps=n_steps,
+            query_provider=fixed_workload_provider(workload.boxes),
+        )
+        linear = report["linear-scan"]
+        for name in _STRATEGIES:
+            strategy_report = report[name]
+            rows.append(
+                {
+                    "dataset": mesh.name,
+                    "strategy": name,
+                    "response_time_s": strategy_report.total_response_time,
+                    "surface_probe_time_s": strategy_report.total_probe_time,
+                    "directed_walk_time_s": strategy_report.total_walk_time,
+                    "crawling_time_s": strategy_report.total_crawl_time,
+                    "surface_probed": strategy_report.counters.surface_probed,
+                    "walk_vertices": strategy_report.counters.walk_vertices_visited,
+                    "crawl_vertices": strategy_report.counters.crawl_vertices_visited,
+                    "speedup_vs_linear_time": strategy_report.speedup_against(linear),
+                    "speedup_vs_linear_work": strategy_report.speedup_against(linear, use_work=True),
+                }
+            )
+    return rows
+
+
+def figure9_grid_resolution(
+    profile: str = "small",
+    resolutions: Sequence[int] = (2, 6, 10, 14, 18),
+    n_queries: int = 10,
+    selectivity: float = 0.001,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 9(c, d): grid resolution versus directed-walk cost and grid memory.
+
+    ``resolutions`` are cells per axis; the paper reports total cell counts
+    (8, 216, 1000, 2744, 5832), which correspond to 2, 6, 10, 14 and 18 cells
+    per axis.
+    """
+    _, fine = earthquake_pair(profile)
+    workload = random_query_workload(
+        fine, selectivity=selectivity, n_queries=n_queries, seed=seed
+    )
+    rows = []
+    for resolution in resolutions:
+        executor = OctopusConExecutor(grid_resolution=int(resolution))
+        executor.prepare(fine)
+        walk_vertices = 0
+        for box in workload.boxes:
+            result = executor.query(box)
+            walk_vertices += result.counters.walk_vertices_visited
+        rows.append(
+            {
+                "grid_cells_total": int(resolution) ** 3,
+                "grid_resolution_per_axis": int(resolution),
+                "directed_walk_vertices": walk_vertices,
+                "grid_memory_mb": executor.grid.memory_bytes() / 1e6,
+            }
+        )
+    return rows

@@ -1,0 +1,98 @@
+"""Figure 10: OCTOPUS overhead analysis.
+
+* (a) per-phase breakdown (surface probe / directed walk / crawling) of
+  OCTOPUS's query execution as the dataset grows;
+* (b) memory footprint as a function of the number of query results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...core import OctopusExecutor
+from ...simulation import RandomWalkDeformation
+from ...workloads import random_query_workload
+from ..datasets import neuron_largest, neuron_series
+from ..harness import fixed_workload_provider, run_comparison, strategy_suite
+
+__all__ = ["figure10_breakdown", "figure10_footprint"]
+
+
+def figure10_breakdown(
+    profile: str = "small",
+    n_steps: int = 3,
+    queries_per_step: int = 8,
+    selectivity: float = 0.001,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 10(a): phase breakdown of OCTOPUS across the dataset series.
+
+    Queries are sized on the coarsest mesh and reused on every level of
+    detail (as in Figure 7a), so crawling grows with detail while the surface
+    probe grows sub-linearly.
+    """
+    series = neuron_series(profile)
+    workload = random_query_workload(
+        series[0], selectivity=selectivity, n_queries=queries_per_step, seed=seed
+    )
+    rows = []
+    for mesh in series:
+        report = run_comparison(
+            mesh=mesh.copy(),
+            strategies=strategy_suite(("octopus",)),
+            deformation=RandomWalkDeformation(amplitude=0.0005, seed=seed),
+            n_steps=n_steps,
+            query_provider=fixed_workload_provider(workload.boxes),
+        )
+        octopus = report["octopus"]
+        rows.append(
+            {
+                "dataset": mesh.name,
+                "n_tetrahedra": mesh.n_cells,
+                "surface_probe_time_s": octopus.total_probe_time,
+                "directed_walk_time_s": octopus.total_walk_time,
+                "crawling_time_s": octopus.total_crawl_time,
+                "surface_probed": octopus.counters.surface_probed,
+                "walk_vertices": octopus.counters.walk_vertices_visited,
+                "crawl_vertices": octopus.counters.crawl_vertices_visited,
+                "preprocessing_time_s": octopus.preprocessing_time,
+            }
+        )
+    return rows
+
+
+def figure10_footprint(
+    profile: str = "small",
+    queries_counts: Sequence[int] = (2, 5, 10, 15, 20),
+    selectivity: float = 0.001,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 10(b): OCTOPUS memory footprint versus number of query results.
+
+    The footprint is the surface index plus the crawl scratch (visited bitmap
+    and result storage); the paper shows it correlates directly with the
+    number of results retrieved.
+    """
+    mesh = neuron_largest(profile)
+    executor = OctopusExecutor()
+    executor.prepare(mesh)
+    surface_index_bytes = executor.surface_index.memory_bytes()
+    rows = []
+    for n_queries in queries_counts:
+        workload = random_query_workload(
+            mesh, selectivity=selectivity, n_queries=int(n_queries), seed=seed
+        )
+        total_results = 0
+        for box in workload.boxes:
+            total_results += executor.query(box).n_results
+        traversal_bytes = mesh.n_vertices + total_results * 8  # visited mask + result ids
+        rows.append(
+            {
+                "n_queries": int(n_queries),
+                "total_results": total_results,
+                "surface_index_mb": surface_index_bytes / 1e6,
+                "traversal_structures_mb": traversal_bytes / 1e6,
+                "total_footprint_mb": (surface_index_bytes + traversal_bytes) / 1e6,
+            }
+        )
+    return rows

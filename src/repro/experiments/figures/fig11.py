@@ -1,0 +1,86 @@
+"""Figure 11: validation of the analytical cost model (Section IV-G).
+
+The paper compares measured OCTOPUS query response times with the times
+predicted by Equation 3 across five dataset sizes and three selectivities.
+Wall-clock seconds in pure Python are noisy, so this driver validates the
+model on two levels:
+
+* **work level** (hardware independent): the model's predicted vertex-access
+  counts — ``S * V`` for the probe, ``M * sel * V`` for the crawl — against
+  the counters OCTOPUS actually reports;
+* **time level**: seconds predicted with constants ``cs``/``cr`` calibrated on
+  this machine against measured seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...core import CostModel, OctopusExecutor, calibrate_cost_model
+from ...baselines import LinearScanExecutor
+from ...workloads import random_query_workload
+from ..datasets import neuron_series
+
+__all__ = ["figure11_model_validation"]
+
+
+def figure11_model_validation(
+    profile: str = "small",
+    selectivities: Sequence[float] = (0.0001, 0.001, 0.002),
+    n_queries: int = 6,
+    seed: int = 0,
+) -> list[dict]:
+    """One row per (dataset, selectivity) with measured vs predicted cost."""
+    series = neuron_series(profile)
+    model = calibrate_cost_model(series[0])
+    rows = []
+    for mesh in series:
+        surface_ratio = mesh.surface_to_volume_ratio()
+        mesh_degree = mesh.mesh_degree()
+        octopus = OctopusExecutor()
+        octopus.prepare(mesh)
+        linear = LinearScanExecutor()
+        linear.prepare(mesh)
+        for selectivity in selectivities:
+            workload = random_query_workload(
+                mesh, selectivity=selectivity, n_queries=n_queries, seed=seed
+            )
+            measured_selectivity = workload.mean_measured_selectivity() or selectivity
+
+            octopus_time = 0.0
+            probe_accesses = 0
+            crawl_accesses = 0
+            linear_time = 0.0
+            for box in workload.boxes:
+                result = octopus.query(box)
+                octopus_time += result.total_time
+                probe_accesses += result.counters.surface_probed
+                crawl_accesses += result.counters.crawl_vertices_visited
+                linear_time += linear.query(box).total_time
+
+            n = len(workload.boxes)
+            predicted_probe = surface_ratio * mesh.n_vertices
+            predicted_crawl = mesh_degree * measured_selectivity * mesh.n_vertices
+            measured_work = (probe_accesses + crawl_accesses) / n
+            predicted_work = predicted_probe + predicted_crawl
+            rows.append(
+                {
+                    "dataset": mesh.name,
+                    "n_tetrahedra": mesh.n_cells,
+                    "selectivity_pct": selectivity * 100.0,
+                    "measured_octopus_work": measured_work,
+                    "predicted_octopus_work": predicted_work,
+                    "work_error_pct": 100.0 * abs(measured_work - predicted_work) / max(predicted_work, 1.0),
+                    "measured_octopus_time_s": octopus_time / n,
+                    "predicted_octopus_time_s": model.octopus_cost(
+                        mesh.n_vertices, surface_ratio, mesh_degree, measured_selectivity
+                    ),
+                    "measured_linear_scan_time_s": linear_time / n,
+                    "predicted_linear_scan_time_s": model.linear_scan_cost(mesh.n_vertices),
+                    "predicted_speedup": model.speedup(surface_ratio, mesh_degree, measured_selectivity),
+                    "max_selectivity_pct": model.max_selectivity(surface_ratio, mesh_degree) * 100.0,
+                }
+            )
+    return rows

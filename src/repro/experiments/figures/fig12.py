@@ -1,0 +1,48 @@
+"""Figure 12: the surface-approximation optimisation (Section IV-H2).
+
+Probing only a random sample of the surface vertices trades accuracy for
+probe time.  Figure 12(a) plots result accuracy against the approximation
+fraction for two selectivities; Figure 12(b) plots the speedup over
+unapproximated OCTOPUS.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...core import evaluate_surface_approximation
+from ...workloads import random_query_workload
+from ..datasets import neuron_largest
+
+__all__ = ["figure12_surface_approximation"]
+
+
+def figure12_surface_approximation(
+    profile: str = "small",
+    fractions: Sequence[float] = (0.0001, 0.001, 0.01, 0.1, 1.0),
+    selectivities: Sequence[float] = (0.0001, 0.001),
+    n_queries: int = 6,
+    seed: int = 0,
+) -> list[dict]:
+    """One row per (selectivity, approximation fraction) with accuracy and speedup."""
+    mesh = neuron_largest(profile)
+    rows = []
+    for selectivity in selectivities:
+        workload = random_query_workload(
+            mesh, selectivity=selectivity, n_queries=n_queries, seed=seed
+        )
+        points = evaluate_surface_approximation(
+            mesh, workload.boxes, fractions=fractions, seed=seed
+        )
+        for point in points:
+            rows.append(
+                {
+                    "selectivity_pct": selectivity * 100.0,
+                    "approximation_pct": point.fraction * 100.0,
+                    "accuracy_pct": point.accuracy * 100.0,
+                    "mean_probe_work": point.mean_probe_work,
+                    "mean_total_work": point.mean_total_work,
+                    "speedup_vs_exact": point.speedup_vs_exact,
+                }
+            )
+    return rows

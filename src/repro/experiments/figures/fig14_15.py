@@ -1,0 +1,76 @@
+"""Figures 14 and 15: deforming mesh animation datasets (Section VIII).
+
+Figure 14 characterises the three animation sequences; Figure 15 compares the
+average per-time-step query response time of OCTOPUS and the linear scan on
+each sequence and reports the speedups (which the paper shows are ordered by
+the surface-to-volume ratio of the sequences).
+"""
+
+from __future__ import annotations
+
+from ...simulation import SequenceReplayDeformation
+from ...workloads import random_query_workload
+from ..datasets import animation_sequences
+from ..harness import fixed_workload_provider, run_comparison, strategy_suite
+
+__all__ = ["figure14_rows", "figure15_animation"]
+
+
+def figure14_rows(profile: str = "small") -> list[dict]:
+    """Figure 14: characterisation of the deforming mesh datasets."""
+    rows = []
+    for sequence in animation_sequences(profile):
+        characterization = sequence.characterize()
+        rows.append(
+            {
+                "dataset": characterization["name"],
+                "time_steps": characterization["time_steps"],
+                "size_mb": characterization["memory_bytes"] / 1e6,
+                "n_vertices": characterization["n_vertices"],
+                "surface_to_volume": characterization["surface_to_volume"],
+            }
+        )
+    return rows
+
+
+def figure15_animation(
+    profile: str = "small",
+    queries_per_step: int = 8,
+    selectivity: float = 0.001,
+    max_steps: int | None = 6,
+    seed: int = 0,
+) -> list[dict]:
+    """Figure 15(a, b): per-time-step response time and speedup per sequence.
+
+    ``max_steps`` caps how many frames of each sequence are replayed (the
+    sequences have 9-53 frames; replaying a handful is enough to measure the
+    per-step averages and keeps the benchmark fast).  Pass ``None`` to replay
+    every frame as the paper does.
+    """
+    rows = []
+    for sequence in animation_sequences(profile):
+        n_steps = sequence.n_frames if max_steps is None else min(max_steps, sequence.n_frames)
+        workload = random_query_workload(
+            sequence.mesh, selectivity=selectivity, n_queries=queries_per_step, seed=seed
+        )
+        report = run_comparison(
+            mesh=sequence.mesh.copy(),
+            strategies=strategy_suite(("octopus", "linear-scan")),
+            deformation=SequenceReplayDeformation(sequence.frames),
+            n_steps=n_steps,
+            query_provider=fixed_workload_provider(workload.boxes),
+        )
+        octopus = report["octopus"]
+        linear = report["linear-scan"]
+        rows.append(
+            {
+                "dataset": sequence.name,
+                "time_steps_replayed": n_steps,
+                "surface_to_volume": sequence.mesh.surface_to_volume_ratio(),
+                "octopus_time_per_step_s": octopus.total_response_time / n_steps,
+                "linear_scan_time_per_step_s": linear.total_response_time / n_steps,
+                "speedup_time": octopus.speedup_against(linear),
+                "speedup_work": octopus.speedup_against(linear, use_work=True),
+            }
+        )
+    return rows

@@ -1,0 +1,140 @@
+"""Shared experiment plumbing.
+
+The per-figure drivers in :mod:`repro.experiments.figures` all follow the same
+recipe: pick a dataset, pick strategies, deform for N steps, issue the same
+queries to every strategy, and summarise.  This module provides the two pieces
+they share — the strategy factory mirroring the paper's comparison set
+(Section V-A) and a thin wrapper around :class:`~repro.simulation.MeshSimulation`
+that produces comparison rows ready for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..baselines import (
+    LinearScanExecutor,
+    LURTreeExecutor,
+    QUTradeExecutor,
+    RUMTreeExecutor,
+    ThrowawayGridExecutor,
+    ThrowawayKDTreeExecutor,
+    ThrowawayOctreeExecutor,
+)
+from ..core import OctopusConExecutor, OctopusExecutor
+from ..core.executor import ExecutionStrategy
+from ..errors import ExperimentError
+from ..mesh import Box3D, PolyhedralMesh
+from ..simulation import DeformationModel, MeshSimulation, SimulationReport
+from ..workloads import QueryWorkload, random_query_workload
+
+__all__ = [
+    "strategy_suite",
+    "make_strategy",
+    "run_comparison",
+    "comparison_rows",
+    "fixed_workload_provider",
+    "per_step_workload_provider",
+]
+
+#: strategies compared in Figure 6, in the paper's order
+PAPER_COMPARISON = ("octopus", "linear-scan", "octree", "lur-tree", "qu-trade")
+
+
+def make_strategy(name: str, **kwargs) -> ExecutionStrategy:
+    """Instantiate an execution strategy by its report name."""
+    factories: dict[str, Callable[..., ExecutionStrategy]] = {
+        "octopus": OctopusExecutor,
+        "octopus-con": OctopusConExecutor,
+        "linear-scan": LinearScanExecutor,
+        "octree": ThrowawayOctreeExecutor,
+        "kd-tree": ThrowawayKDTreeExecutor,
+        "grid": ThrowawayGridExecutor,
+        "lur-tree": LURTreeExecutor,
+        "qu-trade": QUTradeExecutor,
+        "rum-tree": RUMTreeExecutor,
+    }
+    try:
+        factory = factories[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown strategy {name!r}; expected one of {sorted(factories)}"
+        ) from exc
+    return factory(**kwargs)
+
+
+def strategy_suite(names: Sequence[str] = PAPER_COMPARISON) -> list[ExecutionStrategy]:
+    """Instantiate a list of strategies by name (defaults to the Figure 6 set)."""
+    return [make_strategy(name) for name in names]
+
+
+def fixed_workload_provider(workload: QueryWorkload | Sequence[Box3D]):
+    """A query provider that issues the same boxes at every time step."""
+    boxes = list(workload)
+
+    def provider(mesh: PolyhedralMesh, step: int) -> list[Box3D]:
+        return boxes
+
+    return provider
+
+
+def per_step_workload_provider(
+    selectivity: float, queries_per_step: int, seed: int = 0
+):
+    """A query provider that draws fresh random queries of fixed selectivity each step."""
+
+    def provider(mesh: PolyhedralMesh, step: int) -> list[Box3D]:
+        workload = random_query_workload(
+            mesh, selectivity=selectivity, n_queries=queries_per_step, seed=seed + 1000 * step
+        )
+        return workload.boxes
+
+    return provider
+
+
+def run_comparison(
+    mesh: PolyhedralMesh,
+    strategies: Sequence[ExecutionStrategy],
+    deformation: DeformationModel,
+    n_steps: int,
+    query_provider,
+    validate_results: bool = False,
+) -> SimulationReport:
+    """Run one simulation comparing the given strategies on identical queries."""
+    simulation = MeshSimulation(
+        mesh=mesh,
+        deformation=deformation,
+        strategies=strategies,
+        query_provider=query_provider,
+        validate_results=validate_results,
+    )
+    return simulation.run(n_steps)
+
+
+def comparison_rows(report: SimulationReport, baseline: str = "linear-scan") -> list[dict]:
+    """Flatten a simulation report into one comparison row per strategy.
+
+    The speedup columns are computed against ``baseline`` (the linear scan in
+    the paper) using both wall-clock response time and the machine-independent
+    work counters.
+    """
+    if baseline not in report.strategies:
+        raise ExperimentError(f"baseline {baseline!r} was not part of the comparison")
+    reference = report.strategies[baseline]
+    rows = []
+    for name, strategy_report in report.strategies.items():
+        rows.append(
+            {
+                "strategy": name,
+                "response_time_s": strategy_report.total_response_time,
+                "query_time_s": strategy_report.total_query_time,
+                "maintenance_time_s": strategy_report.total_maintenance_time,
+                "preprocessing_time_s": strategy_report.preprocessing_time,
+                "memory_overhead_mb": strategy_report.memory_overhead_bytes / 1e6,
+                "total_results": strategy_report.total_results,
+                "total_work": strategy_report.total_work(),
+                "speedup_vs_baseline_time": strategy_report.speedup_against(reference),
+                "speedup_vs_baseline_work": strategy_report.speedup_against(reference, use_work=True),
+            }
+        )
+    return rows

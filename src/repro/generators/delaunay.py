@@ -1,0 +1,56 @@
+"""Delaunay-based tetrahedral meshes of random point clouds.
+
+These meshes complement the structured generators: they are convex (the
+Delaunay tetrahedralisation fills the convex hull of the points), irregular
+(vertex degrees vary), and cheap to produce at any size, which makes them
+useful for property-based tests and for exercising OCTOPUS on meshes whose
+degree distribution differs from the Kuhn grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay, QhullError
+
+from ..errors import MeshError
+from ..mesh import Box3D, TetrahedralMesh
+
+__all__ = ["delaunay_mesh_from_points", "random_delaunay_mesh"]
+
+
+def delaunay_mesh_from_points(points: np.ndarray, name: str = "delaunay") -> TetrahedralMesh:
+    """Tetrahedralise an ``(n, 3)`` point cloud with scipy's Delaunay triangulation.
+
+    Degenerate (near zero volume) tetrahedra produced by co-planar points are
+    dropped so that the resulting mesh is usable for crawling.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] < 5:
+        raise MeshError("need at least 5 points in an (n, 3) array")
+    try:
+        triangulation = Delaunay(pts)
+    except QhullError as exc:
+        raise MeshError(f"Delaunay triangulation failed: {exc}") from exc
+    cells = np.asarray(triangulation.simplices, dtype=np.int64)
+    mesh = TetrahedralMesh(pts, cells, name=name)
+    volumes = mesh.cell_volumes()
+    threshold = volumes.max() * 1e-9 if volumes.size else 0.0
+    keep = volumes > threshold
+    if not keep.all():
+        mesh = TetrahedralMesh(pts, cells[keep], name=name)
+    return mesh
+
+
+def random_delaunay_mesh(
+    n_points: int,
+    bounds: Box3D | None = None,
+    seed: int = 0,
+    name: str = "delaunay-random",
+) -> TetrahedralMesh:
+    """Delaunay mesh of uniformly random points inside ``bounds`` (unit cube by default)."""
+    if n_points < 5:
+        raise MeshError("need at least 5 points for a tetrahedral mesh")
+    box = bounds if bounds is not None else Box3D((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(box.lo, box.hi, size=(n_points, 3))
+    return delaunay_mesh_from_points(points, name=name)

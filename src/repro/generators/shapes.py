@@ -1,0 +1,157 @@
+"""Implicit shapes used to carve non-convex meshes out of structured grids.
+
+Each shape exposes :meth:`Shape.contains`, a vectorised inside test over an
+``(n, 3)`` array of points, and :meth:`Shape.bounds`, a bounding box that the
+carving generator uses to size the background grid.  Shapes can be combined
+with :class:`Union` to build branching, non-convex geometries such as the
+synthetic neuron.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..mesh import Box3D
+
+__all__ = ["Shape", "Sphere", "Ellipsoid", "Capsule", "BoxShape", "Union"]
+
+
+class Shape(ABC):
+    """Base class for implicit 3D shapes."""
+
+    @abstractmethod
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask of which rows of ``points`` are inside the shape."""
+
+    @abstractmethod
+    def bounds(self) -> Box3D:
+        """A bounding box that fully encloses the shape."""
+
+    def __or__(self, other: "Shape") -> "Union":
+        return Union([self, other])
+
+
+@dataclass(frozen=True)
+class Sphere(Shape):
+    """A solid sphere."""
+
+    center: tuple[float, float, float]
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise GeometryError("sphere radius must be positive")
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        delta = pts - np.asarray(self.center)
+        return np.einsum("ij,ij->i", delta, delta) <= self.radius**2
+
+    def bounds(self) -> Box3D:
+        c = np.asarray(self.center, dtype=np.float64)
+        return Box3D(c - self.radius, c + self.radius)
+
+
+@dataclass(frozen=True)
+class Ellipsoid(Shape):
+    """A solid axis-aligned ellipsoid."""
+
+    center: tuple[float, float, float]
+    radii: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        if min(self.radii) <= 0:
+            raise GeometryError("ellipsoid radii must be positive")
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        scaled = (pts - np.asarray(self.center)) / np.asarray(self.radii)
+        return np.einsum("ij,ij->i", scaled, scaled) <= 1.0
+
+    def bounds(self) -> Box3D:
+        c = np.asarray(self.center, dtype=np.float64)
+        r = np.asarray(self.radii, dtype=np.float64)
+        return Box3D(c - r, c + r)
+
+
+@dataclass(frozen=True)
+class Capsule(Shape):
+    """A solid capsule: all points within ``radius`` of the segment ``start``-``end``.
+
+    Chains of capsules model the tubular branches of the synthetic neuron.
+    """
+
+    start: tuple[float, float, float]
+    end: tuple[float, float, float]
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise GeometryError("capsule radius must be positive")
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        a = np.asarray(self.start, dtype=np.float64)
+        b = np.asarray(self.end, dtype=np.float64)
+        axis = b - a
+        length_sq = float(axis @ axis)
+        if length_sq == 0.0:
+            delta = pts - a
+            return np.einsum("ij,ij->i", delta, delta) <= self.radius**2
+        t = np.clip(((pts - a) @ axis) / length_sq, 0.0, 1.0)
+        closest = a + t[:, None] * axis
+        delta = pts - closest
+        return np.einsum("ij,ij->i", delta, delta) <= self.radius**2
+
+    def bounds(self) -> Box3D:
+        a = np.asarray(self.start, dtype=np.float64)
+        b = np.asarray(self.end, dtype=np.float64)
+        lo = np.minimum(a, b) - self.radius
+        hi = np.maximum(a, b) + self.radius
+        return Box3D(lo, hi)
+
+
+@dataclass(frozen=True)
+class BoxShape(Shape):
+    """A solid axis-aligned box."""
+
+    box: Box3D
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        return self.box.contains_points(np.asarray(points, dtype=np.float64))
+
+    def bounds(self) -> Box3D:
+        return self.box
+
+
+class Union(Shape):
+    """The union of several shapes (inside any member means inside the union)."""
+
+    def __init__(self, members: Sequence[Shape]) -> None:
+        if not members:
+            raise GeometryError("a union needs at least one member shape")
+        self.members = list(members)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        pts = np.asarray(points, dtype=np.float64)
+        mask = np.zeros(pts.shape[0], dtype=bool)
+        for member in self.members:
+            remaining = ~mask
+            if not remaining.any():
+                break
+            mask[remaining] = member.contains(pts[remaining])
+        return mask
+
+    def bounds(self) -> Box3D:
+        result = self.members[0].bounds()
+        for member in self.members[1:]:
+            result = result.union(member.bounds())
+        return result
+
+    def __or__(self, other: Shape) -> "Union":
+        return Union([*self.members, other])

@@ -1,0 +1,60 @@
+"""Mesh substrate: geometry, connectivity, surface extraction and layouts."""
+
+from .adjacency import AdjacencyList, edges_from_cells
+from .base import PolyhedralMesh
+from .convexity import convexity_defect, is_convex_point_set, mesh_is_convex
+from .geometry import (
+    Box3D,
+    bounding_box,
+    boxes_overlap_volume,
+    point_box_distance,
+    points_box_distance,
+    points_in_box,
+)
+from .hexahedral import HexahedralMesh
+from .hilbert import hilbert_distances, hilbert_sort_order
+from .io import load_mesh, load_sequence, save_mesh, save_sequence
+from .layout import hilbert_layout, layout_locality_score, random_layout
+from .surface import SurfaceExtraction, cell_faces, extract_surface
+from .tetrahedral import TetrahedralMesh
+from .triangle import TriangleMesh
+from .validation import (
+    MeshValidationReport,
+    density_statistics,
+    quality_statistics,
+    validate_mesh,
+)
+
+__all__ = [
+    "AdjacencyList",
+    "Box3D",
+    "HexahedralMesh",
+    "MeshValidationReport",
+    "PolyhedralMesh",
+    "SurfaceExtraction",
+    "TetrahedralMesh",
+    "TriangleMesh",
+    "bounding_box",
+    "boxes_overlap_volume",
+    "cell_faces",
+    "convexity_defect",
+    "density_statistics",
+    "edges_from_cells",
+    "extract_surface",
+    "hilbert_distances",
+    "hilbert_layout",
+    "hilbert_sort_order",
+    "is_convex_point_set",
+    "layout_locality_score",
+    "load_mesh",
+    "load_sequence",
+    "mesh_is_convex",
+    "point_box_distance",
+    "points_box_distance",
+    "points_in_box",
+    "quality_statistics",
+    "random_layout",
+    "save_mesh",
+    "save_sequence",
+    "validate_mesh",
+]

@@ -1,0 +1,80 @@
+"""Convexity tests for meshes.
+
+OCTOPUS-CON (Section IV-F) may only be used when the mesh stays convex during
+the simulation: convexity guarantees internal reachability, so a crawl started
+from any single vertex inside the query retrieves the complete result.  This
+module provides a practical convexity check used by generators, tests and the
+executor-selection helper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import ConvexHull, QhullError
+
+from ..errors import MeshError
+from .base import PolyhedralMesh
+
+__all__ = ["is_convex_point_set", "mesh_is_convex", "convexity_defect"]
+
+
+def is_convex_point_set(
+    points: np.ndarray, surface_points: np.ndarray, tolerance: float = 1e-6
+) -> bool:
+    """Check whether ``surface_points`` all lie on the convex hull of ``points``.
+
+    A volumetric mesh is convex exactly when its surface vertices coincide with
+    its convex hull: any surface vertex strictly inside the hull indicates a
+    concavity (a dent or a hole).
+
+    ``tolerance`` is relative to the bounding-box diagonal.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    surf = np.asarray(surface_points, dtype=np.float64)
+    if pts.shape[0] < 4:
+        return True
+    try:
+        hull = ConvexHull(pts)
+    except QhullError as exc:  # degenerate (flat) point set
+        raise MeshError(f"cannot compute convex hull: {exc}") from exc
+    diag = float(np.linalg.norm(pts.max(axis=0) - pts.min(axis=0)))
+    abs_tol = tolerance * max(diag, 1.0)
+    # hull.equations rows are (a, b, c, d) with a*x + b*y + c*z + d <= 0 inside.
+    normals = hull.equations[:, :3]
+    offsets = hull.equations[:, 3]
+    # Distance of every surface point to its nearest hull facet plane.
+    signed = surf @ normals.T + offsets          # (n_surface, n_facets)
+    nearest_facet_distance = -signed.max(axis=1)  # >= 0 means inside by that much
+    return bool(np.all(nearest_facet_distance <= abs_tol))
+
+
+def convexity_defect(mesh: PolyhedralMesh) -> float:
+    """Largest distance from any surface vertex to the convex hull boundary.
+
+    Zero (up to numerical noise) for convex meshes; grows with the depth of
+    concavities.  Normalised by the bounding-box diagonal so values are
+    comparable across meshes.
+    """
+    pts = mesh.vertices
+    if pts.shape[0] < 4:
+        return 0.0
+    surf = pts[mesh.surface_vertices()]
+    try:
+        hull = ConvexHull(pts)
+    except QhullError as exc:
+        raise MeshError(f"cannot compute convex hull: {exc}") from exc
+    normals = hull.equations[:, :3]
+    offsets = hull.equations[:, 3]
+    signed = surf @ normals.T + offsets
+    nearest_facet_distance = -signed.max(axis=1)
+    diag = float(np.linalg.norm(pts.max(axis=0) - pts.min(axis=0)))
+    if diag <= 0:
+        return 0.0
+    return float(max(nearest_facet_distance.max(), 0.0) / diag)
+
+
+def mesh_is_convex(mesh: PolyhedralMesh, tolerance: float = 1e-3) -> bool:
+    """Return True if the mesh's surface vertices all lie on its convex hull."""
+    if mesh.n_vertices == 0:
+        raise MeshError("empty mesh has no convexity")
+    return is_convex_point_set(mesh.vertices, mesh.vertices[mesh.surface_vertices()], tolerance)

@@ -1,0 +1,212 @@
+"""Axis-aligned boxes and basic 3D geometry used throughout the library.
+
+The central type is :class:`Box3D`, which represents both range queries and
+bounding boxes.  All operations are vectorised over NumPy arrays of points so
+that the linear scan baseline and the surface probe can test millions of
+vertices without Python-level loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+
+__all__ = [
+    "Box3D",
+    "points_in_box",
+    "point_box_distance",
+    "points_box_distance",
+    "bounding_box",
+    "boxes_overlap_volume",
+]
+
+
+@dataclass(frozen=True)
+class Box3D:
+    """An axis-aligned three dimensional box (used for range queries and MBRs).
+
+    Parameters
+    ----------
+    lo:
+        Length-3 array-like with the minimum corner ``(x, y, z)``.
+    hi:
+        Length-3 array-like with the maximum corner ``(x, y, z)``.
+
+    The box is closed: points exactly on a face are considered inside.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64).reshape(3)
+        hi = np.asarray(self.hi, dtype=np.float64).reshape(3)
+        if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+            raise GeometryError("box corners must be finite")
+        if np.any(lo > hi):
+            raise GeometryError(f"box minimum corner {lo} exceeds maximum corner {hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_center(cls, center: Sequence[float], extents: Sequence[float]) -> "Box3D":
+        """Build a box from its center and full edge lengths."""
+        center_arr = np.asarray(center, dtype=np.float64).reshape(3)
+        extents_arr = np.asarray(extents, dtype=np.float64).reshape(3)
+        if np.any(extents_arr < 0):
+            raise GeometryError("box extents must be non-negative")
+        half = extents_arr / 2.0
+        return cls(center_arr - half, center_arr + half)
+
+    @classmethod
+    def cube(cls, center: Sequence[float], side: float) -> "Box3D":
+        """Build an axis-aligned cube of the given side length."""
+        return cls.from_center(center, (side, side, side))
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "Box3D":
+        """Return the tight bounding box of a non-empty ``(n, 3)`` point set."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
+            raise GeometryError("from_points expects a non-empty (n, 3) array")
+        return cls(pts.min(axis=0), pts.max(axis=0))
+
+    # ------------------------------------------------------------------
+    # scalar properties
+    # ------------------------------------------------------------------
+    @property
+    def center(self) -> np.ndarray:
+        """The center point of the box."""
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Full edge lengths along each axis."""
+        return self.hi - self.lo
+
+    @property
+    def volume(self) -> float:
+        """Volume of the box (0 for degenerate boxes)."""
+        return float(np.prod(self.extents))
+
+    @property
+    def surface_area(self) -> float:
+        """Total surface area of the box."""
+        dx, dy, dz = self.extents
+        return float(2.0 * (dx * dy + dy * dz + dz * dx))
+
+    # ------------------------------------------------------------------
+    # point predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Return True if ``point`` lies inside (or on the boundary of) the box."""
+        p = np.asarray(point, dtype=np.float64).reshape(3)
+        return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
+
+    def contains_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised membership test for an ``(n, 3)`` array of points."""
+        return points_in_box(points, self)
+
+    def distance_to_point(self, point: Sequence[float]) -> float:
+        """Euclidean distance from ``point`` to the box (0 if inside)."""
+        return point_box_distance(np.asarray(point, dtype=np.float64), self)
+
+    # ------------------------------------------------------------------
+    # box/box predicates
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Box3D") -> bool:
+        """Return True if the two boxes share at least one point."""
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def contains_box(self, other: "Box3D") -> bool:
+        """Return True if ``other`` lies entirely inside this box."""
+        return bool(np.all(self.lo <= other.lo) and np.all(other.hi <= self.hi))
+
+    def intersection(self, other: "Box3D") -> "Box3D | None":
+        """Return the overlap box, or None if the boxes are disjoint."""
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        if np.any(lo > hi):
+            return None
+        return Box3D(lo, hi)
+
+    def union(self, other: "Box3D") -> "Box3D":
+        """Return the smallest box enclosing both boxes."""
+        return Box3D(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def expanded(self, margin: float) -> "Box3D":
+        """Return a copy grown by ``margin`` on every side (shrunk if negative)."""
+        lo = self.lo - margin
+        hi = self.hi + margin
+        if np.any(lo > hi):
+            raise GeometryError("negative margin collapses the box")
+        return Box3D(lo, hi)
+
+    def scaled(self, factor: float) -> "Box3D":
+        """Return a copy scaled about its center by ``factor`` per axis."""
+        if factor < 0:
+            raise GeometryError("scale factor must be non-negative")
+        return Box3D.from_center(self.center, self.extents * factor)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def corners(self) -> np.ndarray:
+        """Return the 8 corner points of the box as an ``(8, 3)`` array."""
+        xs = (self.lo[0], self.hi[0])
+        ys = (self.lo[1], self.hi[1])
+        zs = (self.lo[2], self.hi[2])
+        return np.array([(x, y, z) for x in xs for y in ys for z in zs], dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box3D(lo={self.lo.tolist()}, hi={self.hi.tolist()})"
+
+
+def points_in_box(points: np.ndarray, box: Box3D) -> np.ndarray:
+    """Return a boolean mask of which rows of ``points`` lie inside ``box``.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 3)`` array of coordinates.
+    box:
+        The query box.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise GeometryError("points_in_box expects an (n, 3) array")
+    return np.all((pts >= box.lo) & (pts <= box.hi), axis=1)
+
+
+def point_box_distance(point: np.ndarray, box: Box3D) -> float:
+    """Euclidean distance from a single point to a box (0 inside the box)."""
+    p = np.asarray(point, dtype=np.float64).reshape(3)
+    delta = np.maximum(box.lo - p, 0.0) + np.maximum(p - box.hi, 0.0)
+    return float(np.linalg.norm(delta))
+
+
+def points_box_distance(points: np.ndarray, box: Box3D) -> np.ndarray:
+    """Vectorised Euclidean distance from each row of ``points`` to ``box``."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise GeometryError("points_box_distance expects an (n, 3) array")
+    delta = np.maximum(box.lo - pts, 0.0) + np.maximum(pts - box.hi, 0.0)
+    return np.linalg.norm(delta, axis=1)
+
+
+def bounding_box(points: np.ndarray) -> Box3D:
+    """Return the tight axis-aligned bounding box of a point set."""
+    return Box3D.from_points(points)
+
+
+def boxes_overlap_volume(a: Box3D, b: Box3D) -> float:
+    """Volume of the intersection of two boxes (0 when disjoint)."""
+    overlap = a.intersection(b)
+    return 0.0 if overlap is None else overlap.volume

@@ -1,0 +1,51 @@
+"""Triangle surface meshes.
+
+The deforming animation datasets of Section VIII (horse gallop, facial
+expression, camel compress) are triangle meshes: every vertex lies on the
+surface, so the surface-to-volume ratio is 1 unless the animation generator
+embeds the surface in a thin volumetric shell.  Having the type available lets
+the library and its tests exercise OCTOPUS's worst case (S = 1), where it
+degrades to a surface scan, exactly as Section VIII-B predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MeshError
+from .base import PolyhedralMesh
+
+__all__ = ["TriangleMesh"]
+
+
+class TriangleMesh(PolyhedralMesh):
+    """A surface mesh made of triangles (3 vertices per cell)."""
+
+    cell_arity = 3
+    primitive = "triangle"
+
+    def cell_areas(self) -> np.ndarray:
+        """Area of every triangle."""
+        if self.n_cells == 0:
+            return np.empty(0, dtype=np.float64)
+        verts = self.vertices[self.cells]            # (m, 3, 3)
+        a = verts[:, 1] - verts[:, 0]
+        b = verts[:, 2] - verts[:, 0]
+        return 0.5 * np.linalg.norm(np.cross(a, b), axis=1)
+
+    def total_area(self) -> float:
+        """Sum of all triangle areas."""
+        return float(self.cell_areas().sum())
+
+    def characterize(self) -> dict:
+        """Dataset characterisation row (analogue of Figure 14)."""
+        if self.n_vertices == 0:
+            raise MeshError("cannot characterise an empty mesh")
+        return {
+            "name": self.name,
+            "n_triangles": self.n_cells,
+            "n_vertices": self.n_vertices,
+            "mesh_degree": self.mesh_degree(),
+            "surface_to_volume": self.surface_to_volume_ratio(),
+            "memory_bytes": self.memory_bytes(),
+        }

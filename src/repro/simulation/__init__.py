@@ -1,0 +1,38 @@
+"""Simulation substrate: deformation models, restructuring, monitoring, driver."""
+
+from .deformation import (
+    AffineDeformation,
+    DeformationModel,
+    RandomWalkDeformation,
+    SequenceReplayDeformation,
+    SinusoidalWaveDeformation,
+    SpinePulsationDeformation,
+)
+from .monitoring import (
+    MeshQualityMonitor,
+    Monitor,
+    StructuralValidationMonitor,
+    VisualizationMonitor,
+)
+from .restructuring import RestructuringEvent, remove_cells, split_cells
+from .simulator import MeshSimulation, SimulationReport, StepRecord, StrategyReport
+
+__all__ = [
+    "AffineDeformation",
+    "DeformationModel",
+    "MeshQualityMonitor",
+    "MeshSimulation",
+    "Monitor",
+    "RandomWalkDeformation",
+    "RestructuringEvent",
+    "SequenceReplayDeformation",
+    "SimulationReport",
+    "SinusoidalWaveDeformation",
+    "SpinePulsationDeformation",
+    "StepRecord",
+    "StrategyReport",
+    "StructuralValidationMonitor",
+    "VisualizationMonitor",
+    "remove_cells",
+    "split_cells",
+]

@@ -1,0 +1,241 @@
+"""Deformation models: the "simulation software" black box.
+
+The paper treats the simulation as a black box that, at every discrete time
+step, overwrites the position of (almost) every vertex in place with small,
+unpredictable changes (Section III-A).  The models here reproduce that access
+pattern for the different dataset families:
+
+* :class:`RandomWalkDeformation` — independent Gaussian steps per vertex; the
+  fully unpredictable case that defeats trajectory-based moving-object
+  indexes.
+* :class:`SinusoidalWaveDeformation` — a smooth travelling wave; neighbouring
+  vertices move coherently, which is what makes the surface-approximation
+  optimisation effective (Section IV-H2).
+* :class:`SpinePulsationDeformation` — radial pulsation with per-vertex phase
+  noise, a stand-in for the neural-plasticity "spine length adjustment" the
+  Blue Brain simulation performs.
+* :class:`AffineDeformation` — a time-varying affine map (stretch, shear,
+  rotation); affine maps preserve convexity, so this drives the earthquake /
+  OCTOPUS-CON experiments.
+* :class:`SequenceReplayDeformation` — replays precomputed frames (the
+  animation datasets of Section VIII).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..mesh import PolyhedralMesh
+
+__all__ = [
+    "DeformationModel",
+    "RandomWalkDeformation",
+    "SinusoidalWaveDeformation",
+    "SpinePulsationDeformation",
+    "AffineDeformation",
+    "SequenceReplayDeformation",
+]
+
+
+class DeformationModel(ABC):
+    """Base class: binds to a mesh, then rewrites its positions step by step."""
+
+    def __init__(self) -> None:
+        self._mesh: PolyhedralMesh | None = None
+        self._base_positions: np.ndarray | None = None
+
+    def bind(self, mesh: PolyhedralMesh) -> None:
+        """Capture the mesh and its initial positions (time step 0)."""
+        self._mesh = mesh
+        self._base_positions = mesh.vertices.copy()
+
+    @property
+    def mesh(self) -> PolyhedralMesh:
+        if self._mesh is None:
+            raise SimulationError("deformation model has not been bound to a mesh")
+        return self._mesh
+
+    @property
+    def base_positions(self) -> np.ndarray:
+        if self._base_positions is None:
+            raise SimulationError("deformation model has not been bound to a mesh")
+        return self._base_positions
+
+    @abstractmethod
+    def apply(self, step: int) -> None:
+        """Overwrite the mesh positions in place for time step ``step`` (1-based)."""
+
+    def reset(self) -> None:
+        """Restore the initial positions (time step 0)."""
+        self.mesh.set_positions(self.base_positions)
+
+
+class RandomWalkDeformation(DeformationModel):
+    """Every vertex performs an independent Gaussian random walk.
+
+    ``amplitude`` is the per-step standard deviation expressed as a fraction
+    of the mesh bounding-box diagonal, so the same value produces comparable
+    relative motion on meshes of any scale.
+    """
+
+    def __init__(self, amplitude: float = 0.001, seed: int = 0) -> None:
+        super().__init__()
+        if amplitude < 0:
+            raise SimulationError("amplitude must be non-negative")
+        self.amplitude = amplitude
+        self.seed = seed
+        self._step_sigma = 0.0
+
+    def bind(self, mesh: PolyhedralMesh) -> None:
+        super().bind(mesh)
+        diagonal = float(np.linalg.norm(mesh.bounding_box().extents))
+        self._step_sigma = self.amplitude * diagonal
+
+    def apply(self, step: int) -> None:
+        rng = np.random.default_rng(self.seed + step)
+        displacement = rng.normal(0.0, self._step_sigma, size=self.mesh.vertices.shape)
+        self.mesh.displace(displacement)
+
+
+class SinusoidalWaveDeformation(DeformationModel):
+    """A travelling sinusoidal wave displaces vertices along one axis."""
+
+    def __init__(
+        self,
+        amplitude: float = 0.01,
+        wavelength_fraction: float = 0.5,
+        period_steps: int = 40,
+        axis: int = 2,
+    ) -> None:
+        super().__init__()
+        if amplitude < 0 or wavelength_fraction <= 0 or period_steps < 1:
+            raise SimulationError("invalid wave parameters")
+        if axis not in (0, 1, 2):
+            raise SimulationError("axis must be 0, 1 or 2")
+        self.amplitude = amplitude
+        self.wavelength_fraction = wavelength_fraction
+        self.period_steps = period_steps
+        self.axis = axis
+        self._amp_abs = 0.0
+        self._wavenumber = 0.0
+
+    def bind(self, mesh: PolyhedralMesh) -> None:
+        super().bind(mesh)
+        extents = mesh.bounding_box().extents
+        diagonal = float(np.linalg.norm(extents))
+        self._amp_abs = self.amplitude * diagonal
+        wavelength = self.wavelength_fraction * max(float(extents[(self.axis + 1) % 3]), 1e-9)
+        self._wavenumber = 2.0 * np.pi / wavelength
+
+    def apply(self, step: int) -> None:
+        base = self.base_positions
+        phase = 2.0 * np.pi * step / self.period_steps
+        along = base[:, (self.axis + 1) % 3]
+        positions = base.copy()
+        positions[:, self.axis] += self._amp_abs * np.sin(self._wavenumber * along - phase)
+        self.mesh.set_positions(positions)
+
+
+class SpinePulsationDeformation(DeformationModel):
+    """Radial pulsation about the mesh centroid with per-vertex phase noise."""
+
+    def __init__(self, amplitude: float = 0.01, period_steps: int = 30, seed: int = 0) -> None:
+        super().__init__()
+        if amplitude < 0 or period_steps < 1:
+            raise SimulationError("invalid pulsation parameters")
+        self.amplitude = amplitude
+        self.period_steps = period_steps
+        self.seed = seed
+        self._phase_noise: np.ndarray | None = None
+        self._centroid: np.ndarray | None = None
+
+    def bind(self, mesh: PolyhedralMesh) -> None:
+        super().bind(mesh)
+        rng = np.random.default_rng(self.seed)
+        self._phase_noise = rng.uniform(0.0, 2.0 * np.pi, size=mesh.n_vertices)
+        self._centroid = mesh.vertices.mean(axis=0)
+
+    def apply(self, step: int) -> None:
+        base = self.base_positions
+        phase = 2.0 * np.pi * step / self.period_steps + self._phase_noise
+        radial = base - self._centroid
+        scale = 1.0 + self.amplitude * np.sin(phase)
+        self.mesh.set_positions(self._centroid + radial * scale[:, None])
+
+
+class AffineDeformation(DeformationModel):
+    """A smoothly time-varying affine transform of the initial positions.
+
+    Affine maps take convex sets to convex sets, so this is the deformation
+    family used for the earthquake / OCTOPUS-CON experiments where the mesh
+    must stay convex (Section IV-F).
+    """
+
+    def __init__(
+        self,
+        stretch_amplitude: float = 0.1,
+        shear_amplitude: float = 0.05,
+        rotation_amplitude: float = 0.1,
+        period_steps: int = 60,
+    ) -> None:
+        super().__init__()
+        if min(stretch_amplitude, shear_amplitude, rotation_amplitude) < 0 or period_steps < 1:
+            raise SimulationError("invalid affine deformation parameters")
+        self.stretch_amplitude = stretch_amplitude
+        self.shear_amplitude = shear_amplitude
+        self.rotation_amplitude = rotation_amplitude
+        self.period_steps = period_steps
+        self._centroid: np.ndarray | None = None
+
+    def bind(self, mesh: PolyhedralMesh) -> None:
+        super().bind(mesh)
+        self._centroid = mesh.vertices.mean(axis=0)
+
+    def matrix_at(self, step: int) -> np.ndarray:
+        """The affine matrix applied at time step ``step``."""
+        phase = 2.0 * np.pi * step / self.period_steps
+        stretch = np.diag(
+            1.0
+            + self.stretch_amplitude
+            * np.array([np.sin(phase), np.sin(phase + 2.0), np.sin(phase + 4.0)])
+        )
+        shear = np.eye(3)
+        shear[0, 1] = self.shear_amplitude * np.sin(phase)
+        shear[1, 2] = self.shear_amplitude * np.cos(phase)
+        angle = self.rotation_amplitude * np.sin(phase)
+        cos_a, sin_a = np.cos(angle), np.sin(angle)
+        rotation = np.array([[cos_a, -sin_a, 0.0], [sin_a, cos_a, 0.0], [0.0, 0.0, 1.0]])
+        return rotation @ shear @ stretch
+
+    def apply(self, step: int) -> None:
+        base = self.base_positions
+        matrix = self.matrix_at(step)
+        positions = (base - self._centroid) @ matrix.T + self._centroid
+        self.mesh.set_positions(positions)
+
+
+class SequenceReplayDeformation(DeformationModel):
+    """Replays precomputed absolute position frames (animation datasets)."""
+
+    def __init__(self, frames: list[np.ndarray]) -> None:
+        super().__init__()
+        if not frames:
+            raise SimulationError("need at least one frame to replay")
+        self.frames = frames
+
+    def bind(self, mesh: PolyhedralMesh) -> None:
+        super().bind(mesh)
+        for frame in self.frames:
+            if frame.shape != mesh.vertices.shape:
+                raise SimulationError("frame shape does not match the mesh")
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.frames)
+
+    def apply(self, step: int) -> None:
+        frame = self.frames[(step - 1) % len(self.frames)]
+        self.mesh.set_positions(frame)

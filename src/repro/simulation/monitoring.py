@@ -1,0 +1,159 @@
+"""Monitoring applications (Section III-B).
+
+Monitoring tools issue range queries between simulation steps and compute
+statistics over the results.  Three applications are modelled after the
+neuroscience use cases the paper describes:
+
+* :class:`StructuralValidationMonitor` — statistical validation of the model
+  (vertex density, mean degree inside each queried region);
+* :class:`MeshQualityMonitor` — detection of deformation artifacts (element
+  aspect ratios, inverted elements inside each queried region);
+* :class:`VisualizationMonitor` — retrieval of the view frustum along a camera
+  path, at a configurable quality (number and size of queries).
+
+A monitor produces the per-step query boxes and interprets the results; it is
+deliberately independent of *how* the queries are executed, so the same
+monitor can drive OCTOPUS or any baseline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..mesh import Box3D, PolyhedralMesh, TetrahedralMesh, density_statistics, quality_statistics
+from ..workloads import box_for_selectivity
+from ..core.result import QueryResult
+
+__all__ = [
+    "Monitor",
+    "StructuralValidationMonitor",
+    "MeshQualityMonitor",
+    "VisualizationMonitor",
+]
+
+
+class Monitor(ABC):
+    """Base class for monitoring applications."""
+
+    name = "monitor"
+
+    @abstractmethod
+    def queries_for_step(self, mesh: PolyhedralMesh, step: int) -> list[Box3D]:
+        """The range queries this monitor issues after simulation step ``step``."""
+
+    def analyze(self, mesh: PolyhedralMesh, box: Box3D, result: QueryResult) -> dict:
+        """Interpret one query result (default: just the result size)."""
+        return {"n_vertices": result.n_results}
+
+
+class StructuralValidationMonitor(Monitor):
+    """Statistical validation: density and connectivity statistics per region."""
+
+    name = "structural-validation"
+
+    def __init__(
+        self,
+        queries_per_step: int = 15,
+        selectivity: float = 0.0013,
+        seed: int = 0,
+    ) -> None:
+        if queries_per_step < 1 or not 0 < selectivity < 1:
+            raise SimulationError("invalid structural-validation parameters")
+        self.queries_per_step = queries_per_step
+        self.selectivity = selectivity
+        self.seed = seed
+
+    def queries_for_step(self, mesh: PolyhedralMesh, step: int) -> list[Box3D]:
+        rng = np.random.default_rng(self.seed + step)
+        centers = mesh.vertices[rng.integers(0, mesh.n_vertices, size=self.queries_per_step)]
+        return [
+            box_for_selectivity(mesh, center, self.selectivity, seed=self.seed + step + i)
+            for i, center in enumerate(centers)
+        ]
+
+    def analyze(self, mesh: PolyhedralMesh, box: Box3D, result: QueryResult) -> dict:
+        return density_statistics(mesh, result.vertex_ids, box.volume)
+
+
+class MeshQualityMonitor(Monitor):
+    """Artifact detection: element quality statistics inside dense regions."""
+
+    name = "mesh-quality"
+
+    def __init__(
+        self,
+        queries_per_step: int = 8,
+        selectivity: float = 0.0008,
+        seed: int = 0,
+    ) -> None:
+        if queries_per_step < 1 or not 0 < selectivity < 1:
+            raise SimulationError("invalid mesh-quality parameters")
+        self.queries_per_step = queries_per_step
+        self.selectivity = selectivity
+        self.seed = seed
+
+    def queries_for_step(self, mesh: PolyhedralMesh, step: int) -> list[Box3D]:
+        rng = np.random.default_rng(self.seed + 31 * step)
+        # Bias towards dense regions: sample candidate centres and keep the
+        # ones with the most vertices nearby (a cheap density proxy).
+        n_candidates = self.queries_per_step * 4
+        candidate_ids = rng.integers(0, mesh.n_vertices, size=n_candidates)
+        degrees = mesh.adjacency.degrees()[candidate_ids]
+        best = candidate_ids[np.argsort(degrees)[::-1][: self.queries_per_step]]
+        return [
+            box_for_selectivity(mesh, mesh.vertices[int(v)], self.selectivity, seed=self.seed + step + i)
+            for i, v in enumerate(best)
+        ]
+
+    def analyze(self, mesh: PolyhedralMesh, box: Box3D, result: QueryResult) -> dict:
+        if not isinstance(mesh, TetrahedralMesh):
+            return {"n_vertices": result.n_results}
+        # Cells fully contained in the result are the ones whose quality the
+        # monitoring application inspects.
+        member = np.zeros(mesh.n_vertices, dtype=bool)
+        member[result.vertex_ids] = True
+        cell_ids = np.nonzero(member[mesh.cells].all(axis=1))[0]
+        stats = quality_statistics(mesh, cell_ids)
+        stats["n_vertices"] = result.n_results
+        return stats
+
+
+class VisualizationMonitor(Monitor):
+    """View-frustum retrieval along a circular camera path.
+
+    ``quality`` controls the trade-off of Figure 5's benchmarks C and D: low
+    quality uses larger (higher selectivity) queries, high quality uses more,
+    smaller ones.
+    """
+
+    name = "visualization"
+
+    def __init__(self, quality: str = "high", queries_per_step: int = 22, seed: int = 0) -> None:
+        if quality not in ("low", "high"):
+            raise SimulationError("quality must be 'low' or 'high'")
+        if queries_per_step < 1:
+            raise SimulationError("queries_per_step must be at least 1")
+        self.quality = quality
+        self.queries_per_step = queries_per_step
+        self.seed = seed
+        self.selectivity = 0.0018 if quality == "low" else 0.0012
+
+    def queries_for_step(self, mesh: PolyhedralMesh, step: int) -> list[Box3D]:
+        bounds = mesh.bounding_box()
+        center = bounds.center
+        radius = 0.35 * float(np.linalg.norm(bounds.extents))
+        angle = 2.0 * np.pi * step / 36.0
+        camera_target = center + radius * np.array([np.cos(angle), np.sin(angle), 0.0])
+        rng = np.random.default_rng(self.seed + step)
+        # Tile the frustum: queries jitter around the camera target.
+        jitter = rng.normal(scale=0.05 * radius, size=(self.queries_per_step, 3))
+        return [
+            box_for_selectivity(mesh, camera_target + offset, self.selectivity, seed=self.seed + step + i)
+            for i, offset in enumerate(jitter)
+        ]
+
+    def analyze(self, mesh: PolyhedralMesh, box: Box3D, result: QueryResult) -> dict:
+        return {"n_vertices": result.n_results, "frustum_volume": box.volume}

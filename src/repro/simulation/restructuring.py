@@ -1,0 +1,138 @@
+"""Mesh restructuring: the rare connectivity-changing transformation.
+
+Section IV-E2 distinguishes *mesh deformation* (positions change; the surface
+index needs no maintenance) from *mesh restructuring* (cells are split or
+merged; the surface can change and the surface index must be updated with
+insert/delete operations).  Restructuring is rarely implemented in practice,
+but OCTOPUS supports it, so this module provides the two operations needed to
+exercise that code path:
+
+* :func:`split_cells` — 1-to-4 split of selected tetrahedra by inserting their
+  centroid as a new vertex;
+* :func:`remove_cells` — deletion of selected tetrahedra (e.g. eroding the
+  mesh), which typically exposes new surface vertices.
+
+Both return a new :class:`~repro.mesh.tetrahedral.TetrahedralMesh` plus a
+:class:`RestructuringEvent` describing how the surface changed, so tests can
+check that the surface-index maintenance reproduces exactly that change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..mesh import TetrahedralMesh
+
+__all__ = ["RestructuringEvent", "split_cells", "remove_cells"]
+
+
+@dataclass(frozen=True)
+class RestructuringEvent:
+    """Description of one restructuring of the mesh.
+
+    Attributes
+    ----------
+    kind:
+        "split" or "remove".
+    affected_cells:
+        Cell ids of the original mesh that were split or removed.
+    n_new_vertices:
+        Vertices added by the operation (splits insert centroids).
+    surface_vertices_before / surface_vertices_after:
+        Surface vertex ids before and after, in the *new* mesh's numbering
+        (vertex ids are preserved for pre-existing vertices by both
+        operations, so the two sets are directly comparable).
+    """
+
+    kind: str
+    affected_cells: np.ndarray
+    n_new_vertices: int
+    surface_vertices_before: np.ndarray
+    surface_vertices_after: np.ndarray
+
+    @property
+    def inserted_surface_vertices(self) -> np.ndarray:
+        """Vertex ids that joined the surface."""
+        return np.setdiff1d(self.surface_vertices_after, self.surface_vertices_before)
+
+    @property
+    def removed_surface_vertices(self) -> np.ndarray:
+        """Vertex ids that left the surface."""
+        return np.setdiff1d(self.surface_vertices_before, self.surface_vertices_after)
+
+
+def split_cells(mesh: TetrahedralMesh, cell_ids: np.ndarray) -> tuple[TetrahedralMesh, RestructuringEvent]:
+    """Split the selected tetrahedra 1-to-4 by inserting their centroids.
+
+    Existing vertices keep their ids; each split cell contributes one new
+    vertex appended after them.  The operation refines the mesh the way
+    adaptive simulations do; interior splits do not change the surface, while
+    splits of boundary cells add their centroid only to the interior (the
+    centroid of a tetrahedron is never on the surface), so the surface vertex
+    set is typically unchanged — which is exactly the paper's point about how
+    cheap surface-index maintenance is.
+    """
+    ids = np.unique(np.asarray(cell_ids, dtype=np.int64))
+    if ids.size == 0:
+        raise SimulationError("split_cells needs at least one cell id")
+    if ids.min() < 0 or ids.max() >= mesh.n_cells:
+        raise SimulationError("cell ids out of range")
+
+    before = mesh.surface_vertices()
+    centroids = mesh.vertices[mesh.cells[ids]].mean(axis=1)
+    new_vertex_ids = mesh.n_vertices + np.arange(ids.size, dtype=np.int64)
+    new_vertices = np.vstack([mesh.vertices, centroids])
+
+    keep_mask = np.ones(mesh.n_cells, dtype=bool)
+    keep_mask[ids] = False
+    kept_cells = mesh.cells[keep_mask]
+
+    split_cells_list = []
+    faces = ((0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3))
+    for new_vertex, cell_id in zip(new_vertex_ids, ids):
+        cell = mesh.cells[cell_id]
+        for face in faces:
+            split_cells_list.append([cell[face[0]], cell[face[1]], cell[face[2]], new_vertex])
+    new_cells = np.vstack([kept_cells, np.asarray(split_cells_list, dtype=np.int64)])
+
+    new_mesh = TetrahedralMesh(new_vertices, new_cells, name=mesh.name)
+    event = RestructuringEvent(
+        kind="split",
+        affected_cells=ids,
+        n_new_vertices=int(ids.size),
+        surface_vertices_before=before,
+        surface_vertices_after=new_mesh.surface_vertices(),
+    )
+    return new_mesh, event
+
+
+def remove_cells(mesh: TetrahedralMesh, cell_ids: np.ndarray) -> tuple[TetrahedralMesh, RestructuringEvent]:
+    """Delete the selected tetrahedra, exposing new surface where they were.
+
+    Vertex ids are preserved (vertices that become isolated simply stop being
+    referenced); removing boundary-adjacent cells usually promotes interior
+    vertices to surface vertices, exercising the surface index's insert path.
+    """
+    ids = np.unique(np.asarray(cell_ids, dtype=np.int64))
+    if ids.size == 0:
+        raise SimulationError("remove_cells needs at least one cell id")
+    if ids.min() < 0 or ids.max() >= mesh.n_cells:
+        raise SimulationError("cell ids out of range")
+    if ids.size >= mesh.n_cells:
+        raise SimulationError("cannot remove every cell of the mesh")
+
+    before = mesh.surface_vertices()
+    keep_mask = np.ones(mesh.n_cells, dtype=bool)
+    keep_mask[ids] = False
+    new_mesh = TetrahedralMesh(mesh.vertices.copy(), mesh.cells[keep_mask], name=mesh.name)
+    event = RestructuringEvent(
+        kind="remove",
+        affected_cells=ids,
+        n_new_vertices=0,
+        surface_vertices_before=before,
+        surface_vertices_after=new_mesh.surface_vertices(),
+    )
+    return new_mesh, event

@@ -1,0 +1,211 @@
+"""The simulation driver: deform, maintain, query — step after step.
+
+:class:`MeshSimulation` reproduces the timeline of Figure 1(e): at every time
+step the deformation model overwrites all vertex positions in place, every
+registered execution strategy performs whatever maintenance it needs, and the
+per-step range queries are executed by every strategy on the *same* data and
+the *same* boxes so the comparison is apples-to-apples.  The paper's headline
+metric — total query response time, i.e. query execution plus index
+maintenance/rebuilding summed over all steps, with one-time preprocessing
+reported separately — is what :class:`SimulationReport` accumulates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.executor import ExecutionStrategy
+from ..core.result import QueryCounters
+from ..errors import SimulationError
+from ..mesh import Box3D, PolyhedralMesh
+from .deformation import DeformationModel
+
+__all__ = ["StepRecord", "StrategyReport", "SimulationReport", "MeshSimulation"]
+
+#: signature of a per-step query provider: (mesh, step) -> list of query boxes
+QueryProvider = Callable[[PolyhedralMesh, int], Sequence[Box3D]]
+
+
+@dataclass
+class StepRecord:
+    """Per-step accounting for one strategy."""
+
+    step: int
+    maintenance_time: float
+    query_time: float
+    n_queries: int
+    n_results: int
+    counters: QueryCounters
+
+
+@dataclass
+class StrategyReport:
+    """Accumulated results of one strategy over a whole simulation."""
+
+    name: str
+    preprocessing_time: float = 0.0
+    total_maintenance_time: float = 0.0
+    total_query_time: float = 0.0
+    total_results: int = 0
+    n_queries: int = 0
+    memory_overhead_bytes: int = 0
+    counters: QueryCounters = field(default_factory=QueryCounters)
+    steps: list[StepRecord] = field(default_factory=list)
+    # per-phase wall-clock accumulators (phases a strategy lacks stay at 0)
+    total_probe_time: float = 0.0
+    total_walk_time: float = 0.0
+    total_crawl_time: float = 0.0
+    total_scan_time: float = 0.0
+    total_index_time: float = 0.0
+
+    @property
+    def total_response_time(self) -> float:
+        """Query execution plus maintenance (the paper's reported metric)."""
+        return self.total_query_time + self.total_maintenance_time
+
+    def total_work(self) -> int:
+        """Machine-independent total work (vertex accesses + node visits)."""
+        return self.counters.total_vertex_accesses() + self.counters.index_nodes_visited
+
+    def speedup_against(self, other: "StrategyReport", use_work: bool = False) -> float:
+        """This strategy's speedup relative to ``other`` (e.g. the linear scan)."""
+        if use_work:
+            own = max(self.total_work(), 1)
+            reference = max(other.total_work(), 1)
+            return reference / own
+        own_time = max(self.total_response_time, 1e-12)
+        return other.total_response_time / own_time
+
+
+@dataclass
+class SimulationReport:
+    """Results of a full simulation run for every registered strategy."""
+
+    n_steps: int
+    strategies: dict[str, StrategyReport] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> StrategyReport:
+        return self.strategies[name]
+
+    def names(self) -> list[str]:
+        return list(self.strategies)
+
+
+class MeshSimulation:
+    """Drive a deforming mesh and compare execution strategies on it.
+
+    Parameters
+    ----------
+    mesh:
+        The (single, shared) mesh that will be deformed in place.
+    deformation:
+        Deformation model applied at every step.
+    strategies:
+        Execution strategies to compare; each is prepared on the initial mesh.
+    query_provider:
+        Callable producing the per-step query boxes; all strategies execute
+        exactly the same boxes.
+    validate_results:
+        When True, every strategy's result is checked against the first
+        strategy's result for equality (used in tests; adds linear-scan-like
+        overhead so benchmarks keep it off).
+    """
+
+    def __init__(
+        self,
+        mesh: PolyhedralMesh,
+        deformation: DeformationModel,
+        strategies: Sequence[ExecutionStrategy],
+        query_provider: QueryProvider,
+        validate_results: bool = False,
+    ) -> None:
+        if not strategies:
+            raise SimulationError("need at least one execution strategy")
+        names = [s.name for s in strategies]
+        if len(set(names)) != len(names):
+            raise SimulationError("strategy names must be unique")
+        self.mesh = mesh
+        self.deformation = deformation
+        self.strategies = list(strategies)
+        self.query_provider = query_provider
+        self.validate_results = validate_results
+
+        self.deformation.bind(mesh)
+        self._reports: dict[str, StrategyReport] = {}
+        for strategy in self.strategies:
+            preprocessing = strategy.prepare(mesh)
+            self._reports[strategy.name] = StrategyReport(
+                name=strategy.name, preprocessing_time=preprocessing
+            )
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, n_steps: int) -> SimulationReport:
+        """Simulate ``n_steps`` time steps and return the accumulated report."""
+        if n_steps < 1:
+            raise SimulationError("n_steps must be at least 1")
+        for step in range(1, n_steps + 1):
+            self.step(step)
+        for strategy in self.strategies:
+            self._reports[strategy.name].memory_overhead_bytes = strategy.memory_overhead_bytes()
+        return SimulationReport(n_steps=n_steps, strategies=dict(self._reports))
+
+    def step(self, step: int) -> None:
+        """Execute one simulation step: deform, maintain, query."""
+        self.deformation.apply(step)
+        boxes = list(self.query_provider(self.mesh, step))
+
+        reference_ids: list[np.ndarray] | None = None
+        for index, strategy in enumerate(self.strategies):
+            report = self._reports[strategy.name]
+            maintenance = strategy.on_step()
+
+            step_counters = QueryCounters()
+            query_time = 0.0
+            n_results = 0
+            result_ids: list[np.ndarray] = []
+            for box in boxes:
+                start = time.perf_counter()
+                result = strategy.query(box)
+                query_time += time.perf_counter() - start
+                step_counters += result.counters
+                n_results += result.n_results
+                report.total_probe_time += result.probe_time
+                report.total_walk_time += result.walk_time
+                report.total_crawl_time += result.crawl_time
+                report.total_scan_time += result.scan_time
+                report.total_index_time += result.index_time
+                if self.validate_results:
+                    result_ids.append(result.vertex_ids)
+
+            if self.validate_results:
+                if index == 0:
+                    reference_ids = result_ids
+                else:
+                    for box_index, (got, expected) in enumerate(zip(result_ids, reference_ids or [])):
+                        if not np.array_equal(got, expected):
+                            raise SimulationError(
+                                f"strategy {strategy.name!r} disagrees with "
+                                f"{self.strategies[0].name!r} on step {step}, query {box_index}"
+                            )
+
+            report.total_maintenance_time += maintenance
+            report.total_query_time += query_time
+            report.total_results += n_results
+            report.n_queries += len(boxes)
+            report.counters += step_counters
+            report.steps.append(
+                StepRecord(
+                    step=step,
+                    maintenance_time=maintenance,
+                    query_time=query_time,
+                    n_queries=len(boxes),
+                    n_results=n_results,
+                    counters=step_counters,
+                )
+            )

@@ -1,0 +1,22 @@
+"""Query workload generation and selectivity estimation."""
+
+from .microbenchmarks import (
+    NEUROSCIENCE_BENCHMARKS,
+    Microbenchmark,
+    benchmark_by_id,
+    workload_for_step,
+)
+from .queries import QueryWorkload, box_for_selectivity, measure_selectivity, random_query_workload
+from .selectivity import HistogramSelectivityEstimator
+
+__all__ = [
+    "HistogramSelectivityEstimator",
+    "Microbenchmark",
+    "NEUROSCIENCE_BENCHMARKS",
+    "QueryWorkload",
+    "benchmark_by_id",
+    "box_for_selectivity",
+    "measure_selectivity",
+    "random_query_workload",
+    "workload_for_step",
+]

@@ -1,0 +1,101 @@
+"""The four neuroscience microbenchmarks of Figure 5.
+
+Each microbenchmark fixes a number of queries per time step and a selectivity
+range, modelled on the three monitoring use cases of Section III-B:
+
+=====  ==========================  ===============  =====================
+id     use case                    queries / step   selectivity range [%]
+=====  ==========================  ===============  =====================
+A      structural validation       13 - 17           0.11 - 0.16
+B      mesh quality                7 - 9             0.02 - 0.14
+C      visualization (low qual.)   22                0.18
+D      visualization (high qual.)  22                0.12
+=====  ==========================  ===============  =====================
+
+Query volumes in the paper are given in µm³ for the Blue Brain meshes; in this
+reproduction the selectivity (which is scale free) fully determines the boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..mesh import PolyhedralMesh
+from .queries import QueryWorkload, random_query_workload
+
+__all__ = ["Microbenchmark", "NEUROSCIENCE_BENCHMARKS", "benchmark_by_id", "workload_for_step"]
+
+
+@dataclass(frozen=True)
+class Microbenchmark:
+    """Definition of one microbenchmark row of Figure 5."""
+
+    benchmark_id: str
+    use_case: str
+    queries_per_step_min: int
+    queries_per_step_max: int
+    selectivity_min: float
+    selectivity_max: float
+
+    def __post_init__(self) -> None:
+        if self.queries_per_step_min < 1 or self.queries_per_step_max < self.queries_per_step_min:
+            raise WorkloadError("invalid queries-per-step range")
+        if not 0 < self.selectivity_min <= self.selectivity_max < 1:
+            raise WorkloadError("invalid selectivity range")
+
+    def sample_queries_per_step(self, rng: np.random.Generator) -> int:
+        """Draw the number of queries for one time step."""
+        return int(rng.integers(self.queries_per_step_min, self.queries_per_step_max + 1))
+
+    def sample_selectivity(self, rng: np.random.Generator) -> float:
+        """Draw a selectivity for one query."""
+        return float(rng.uniform(self.selectivity_min, self.selectivity_max))
+
+    def describe(self) -> dict:
+        """Row of the Figure 5 table."""
+        return {
+            "benchmark": self.benchmark_id,
+            "use_case": self.use_case,
+            "queries_per_step": f"{self.queries_per_step_min} to {self.queries_per_step_max}"
+            if self.queries_per_step_min != self.queries_per_step_max
+            else str(self.queries_per_step_min),
+            "selectivity_pct": f"{self.selectivity_min * 100:.2f} to {self.selectivity_max * 100:.2f}"
+            if self.selectivity_min != self.selectivity_max
+            else f"{self.selectivity_min * 100:.2f}",
+        }
+
+
+#: The four microbenchmarks of Figure 5 (selectivities converted from percent).
+NEUROSCIENCE_BENCHMARKS: tuple[Microbenchmark, ...] = (
+    Microbenchmark("A", "Structural Validation", 13, 17, 0.0011, 0.0016),
+    Microbenchmark("B", "Mesh Quality", 7, 9, 0.0002, 0.0014),
+    Microbenchmark("C", "Visualization (Low Quality)", 22, 22, 0.0018, 0.0018),
+    Microbenchmark("D", "Visualization (High Quality)", 22, 22, 0.0012, 0.0012),
+)
+
+
+def benchmark_by_id(benchmark_id: str) -> Microbenchmark:
+    """Look up one of the Figure 5 microbenchmarks by its letter."""
+    for benchmark in NEUROSCIENCE_BENCHMARKS:
+        if benchmark.benchmark_id == benchmark_id.upper():
+            return benchmark
+    raise WorkloadError(f"unknown microbenchmark {benchmark_id!r}; expected A, B, C or D")
+
+
+def workload_for_step(
+    mesh: PolyhedralMesh, benchmark: Microbenchmark, step: int, seed: int = 0
+) -> QueryWorkload:
+    """Generate the queries one microbenchmark issues at one time step."""
+    rng = np.random.default_rng(hash((seed, benchmark.benchmark_id, step)) % (2**32))
+    n_queries = benchmark.sample_queries_per_step(rng)
+    selectivity = benchmark.sample_selectivity(rng)
+    return random_query_workload(
+        mesh,
+        selectivity=selectivity,
+        n_queries=n_queries,
+        seed=int(rng.integers(0, 2**31)),
+        description=f"benchmark {benchmark.benchmark_id} step {step}",
+    )

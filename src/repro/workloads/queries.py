@@ -1,0 +1,145 @@
+"""Range-query workload generation.
+
+The paper's experiments are parameterised by *query selectivity* — the
+fraction of mesh vertices a query returns (e.g. "15 uniform random queries of
+selectivity 0.1% per time step").  Because the synthetic meshes are not
+uniformly dense, a query box of a given volume does not have a fixed
+selectivity; :func:`box_for_selectivity` therefore sizes each box by binary
+search against a sample of the vertex positions, and
+:func:`random_query_workload` builds whole workloads of such boxes centred on
+randomly chosen mesh vertices (so queries actually intersect the data, as in
+the paper's monitoring scenario).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..mesh import Box3D, PolyhedralMesh, points_in_box
+
+__all__ = ["QueryWorkload", "box_for_selectivity", "random_query_workload", "measure_selectivity"]
+
+
+@dataclass
+class QueryWorkload:
+    """A set of range queries plus the parameters that produced them."""
+
+    boxes: list[Box3D]
+    target_selectivity: float
+    seed: int
+    description: str = ""
+    measured_selectivities: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __iter__(self):
+        return iter(self.boxes)
+
+    def mean_measured_selectivity(self) -> float:
+        """Mean of the selectivities measured at generation time (0 if unknown)."""
+        if not self.measured_selectivities:
+            return 0.0
+        return float(np.mean(self.measured_selectivities))
+
+
+def measure_selectivity(mesh: PolyhedralMesh, box: Box3D) -> float:
+    """Exact selectivity of ``box`` on the mesh's current positions."""
+    if mesh.n_vertices == 0:
+        raise WorkloadError("cannot measure selectivity on an empty mesh")
+    inside = points_in_box(mesh.vertices, box)
+    return float(inside.sum() / mesh.n_vertices)
+
+
+def box_for_selectivity(
+    mesh: PolyhedralMesh,
+    center: Sequence[float],
+    selectivity: float,
+    sample_size: int = 20000,
+    seed: int = 0,
+    max_iterations: int = 40,
+    tolerance: float = 0.1,
+) -> Box3D:
+    """Size a cube centred at ``center`` so it contains ~``selectivity`` of the vertices.
+
+    Parameters
+    ----------
+    mesh:
+        Mesh providing the vertex positions.
+    center:
+        Cube centre.
+    selectivity:
+        Target fraction of vertices in (0, 1).
+    sample_size:
+        Number of vertices sampled for the selectivity estimate during the
+        binary search (the full mesh is used when it is smaller than this).
+    seed:
+        Sampling seed.
+    max_iterations:
+        Binary-search iterations.
+    tolerance:
+        Acceptable relative deviation from the target selectivity.
+    """
+    if not 0.0 < selectivity < 1.0:
+        raise WorkloadError("selectivity must lie strictly between 0 and 1")
+    positions = mesh.vertices
+    n = positions.shape[0]
+    if n == 0:
+        raise WorkloadError("cannot build queries on an empty mesh")
+    if n > sample_size:
+        rng = np.random.default_rng(seed)
+        sample = positions[rng.choice(n, size=sample_size, replace=False)]
+    else:
+        sample = positions
+    center_arr = np.asarray(center, dtype=np.float64).reshape(3)
+    diagonal = float(np.linalg.norm(mesh.bounding_box().extents))
+
+    lo_side = 0.0
+    hi_side = diagonal
+    side = diagonal * selectivity ** (1.0 / 3.0)
+    for _ in range(max_iterations):
+        box = Box3D.cube(center_arr, max(side, 1e-12))
+        fraction = float(points_in_box(sample, box).sum() / sample.shape[0])
+        if fraction > 0 and abs(fraction - selectivity) <= tolerance * selectivity:
+            break
+        if fraction < selectivity:
+            lo_side = side
+        else:
+            hi_side = side
+        side = (lo_side + hi_side) / 2.0
+        if hi_side - lo_side < 1e-12:
+            break
+    return Box3D.cube(center_arr, max(side, 1e-12))
+
+
+def random_query_workload(
+    mesh: PolyhedralMesh,
+    selectivity: float,
+    n_queries: int,
+    seed: int = 0,
+    description: str = "",
+) -> QueryWorkload:
+    """Generate ``n_queries`` cubes of ~``selectivity`` centred on random mesh vertices."""
+    if n_queries < 1:
+        raise WorkloadError("n_queries must be at least 1")
+    rng = np.random.default_rng(seed)
+    center_ids = rng.integers(0, mesh.n_vertices, size=n_queries)
+    boxes: list[Box3D] = []
+    measured: list[float] = []
+    for i, vertex_id in enumerate(center_ids):
+        box = box_for_selectivity(
+            mesh, mesh.vertices[int(vertex_id)], selectivity, seed=seed + i
+        )
+        boxes.append(box)
+        measured.append(measure_selectivity(mesh, box))
+    return QueryWorkload(
+        boxes=boxes,
+        target_selectivity=selectivity,
+        seed=seed,
+        description=description,
+        measured_selectivities=measured,
+    )

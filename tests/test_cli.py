@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.experiments import figures
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure5"])
+        assert args.experiment == "figure5"
+        assert args.profile == "small"
+        assert args.output is None
+
+    def test_profile_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure5", "--profile", "huge"])
+
+
+class TestExperimentRegistry:
+    def test_every_registered_name_maps_to_a_driver(self):
+        # Every figure family of the paper's evaluation is reachable from the CLI.
+        expected = {
+            "figure4", "figure5", "figure6",
+            "figure7-detail", "figure7-results", "figure7-steps", "figure7-selectivity",
+            "figure9-convex", "figure9-grid",
+            "figure10-breakdown", "figure10-footprint",
+            "figure11", "figure12", "figure13", "figure14", "figure15",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_run_experiment_renders_table(self):
+        text = run_experiment("figure5", profile="tiny")
+        assert "Figure 5" in text
+        assert "Structural Validation" in text
+
+    def test_run_experiment_unknown_name(self):
+        with pytest.raises(SystemExit):
+            run_experiment("figure99", profile="tiny")
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4" in out and "figure15" in out
+
+    def test_single_experiment_with_output_file(self, tmp_path, capsys):
+        target = tmp_path / "out" / "figure5.txt"
+        assert main(["figure5", "--profile", "tiny", "--output", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert target.exists()
+        assert "Structural Validation" in target.read_text()
+
+    def test_dataset_backed_experiment(self, capsys):
+        assert main(["figure4", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "surface_to_volume" in out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])

@@ -1,0 +1,157 @@
+"""Tests for the deformation models (the simulated 'black box')."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mesh import mesh_is_convex
+from repro.simulation import (
+    AffineDeformation,
+    RandomWalkDeformation,
+    SequenceReplayDeformation,
+    SinusoidalWaveDeformation,
+    SpinePulsationDeformation,
+)
+
+
+class TestRandomWalk:
+    def test_moves_every_vertex(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = RandomWalkDeformation(amplitude=0.01, seed=0)
+        model.bind(mesh)
+        before = mesh.vertices.copy()
+        model.apply(1)
+        assert np.all(np.any(mesh.vertices != before, axis=1))
+
+    def test_deterministic_per_step(self, grid_mesh):
+        a = grid_mesh.copy()
+        b = grid_mesh.copy()
+        for mesh in (a, b):
+            model = RandomWalkDeformation(amplitude=0.01, seed=42)
+            model.bind(mesh)
+            model.apply(1)
+            model.apply(2)
+        assert np.allclose(a.vertices, b.vertices)
+
+    def test_amplitude_scales_motion(self, grid_mesh):
+        small_mesh, big_mesh = grid_mesh.copy(), grid_mesh.copy()
+        small = RandomWalkDeformation(amplitude=0.001, seed=1)
+        big = RandomWalkDeformation(amplitude=0.01, seed=1)
+        small.bind(small_mesh)
+        big.bind(big_mesh)
+        small.apply(1)
+        big.apply(1)
+        small_move = np.abs(small_mesh.vertices - grid_mesh.vertices).mean()
+        big_move = np.abs(big_mesh.vertices - grid_mesh.vertices).mean()
+        assert big_move > 5 * small_move
+
+    def test_zero_amplitude_moves_nothing(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = RandomWalkDeformation(amplitude=0.0)
+        model.bind(mesh)
+        model.apply(1)
+        assert np.allclose(mesh.vertices, grid_mesh.vertices)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(SimulationError):
+            RandomWalkDeformation(amplitude=-0.1)
+
+    def test_reset_restores_initial_positions(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = RandomWalkDeformation(amplitude=0.01, seed=0)
+        model.bind(mesh)
+        model.apply(1)
+        model.reset()
+        assert np.allclose(mesh.vertices, grid_mesh.vertices)
+
+    def test_unbound_model_raises(self):
+        model = RandomWalkDeformation()
+        with pytest.raises(SimulationError):
+            model.apply(1)
+
+
+class TestWaveAndPulsation:
+    def test_wave_is_periodic(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = SinusoidalWaveDeformation(amplitude=0.02, period_steps=8)
+        model.bind(mesh)
+        model.apply(3)
+        third_step = mesh.vertices.copy()
+        model.apply(11)     # 3 + one full period
+        assert np.allclose(mesh.vertices, third_step)
+
+    def test_wave_moves_most_vertices(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = SinusoidalWaveDeformation(amplitude=0.02, period_steps=8)
+        model.bind(mesh)
+        model.apply(1)
+        moved = np.any(mesh.vertices != grid_mesh.vertices, axis=1)
+        assert moved.mean() > 0.9
+
+    def test_wave_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            SinusoidalWaveDeformation(axis=5)
+        with pytest.raises(SimulationError):
+            SinusoidalWaveDeformation(period_steps=0)
+
+    def test_pulsation_moves_vertices_radially(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = SpinePulsationDeformation(amplitude=0.05, period_steps=6, seed=0)
+        model.bind(mesh)
+        model.apply(2)
+        assert not np.allclose(mesh.vertices, grid_mesh.vertices)
+        # The centroid stays (approximately) fixed under radial pulsation.
+        assert np.allclose(mesh.vertices.mean(axis=0), grid_mesh.vertices.mean(axis=0), atol=0.02)
+
+
+class TestAffine:
+    def test_preserves_convexity(self, earthquake_small):
+        mesh = earthquake_small.copy()
+        model = AffineDeformation(stretch_amplitude=0.2, shear_amplitude=0.1, rotation_amplitude=0.2)
+        model.bind(mesh)
+        for step in (1, 7, 13):
+            model.apply(step)
+            assert mesh_is_convex(mesh)
+
+    def test_matrix_changes_over_time(self):
+        model = AffineDeformation(period_steps=10)
+        assert not np.allclose(model.matrix_at(1), model.matrix_at(3))
+
+    def test_moves_all_vertices(self, earthquake_small):
+        mesh = earthquake_small.copy()
+        model = AffineDeformation()
+        model.bind(mesh)
+        model.apply(5)
+        moved = np.any(~np.isclose(mesh.vertices, earthquake_small.vertices), axis=1)
+        assert moved.mean() > 0.9
+
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            AffineDeformation(stretch_amplitude=-1)
+
+
+class TestSequenceReplay:
+    def test_replays_frames_in_order(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        frames = [grid_mesh.vertices + i for i in range(1, 4)]
+        model = SequenceReplayDeformation(frames)
+        model.bind(mesh)
+        model.apply(2)
+        assert np.allclose(mesh.vertices, frames[1])
+
+    def test_wraps_around(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        frames = [grid_mesh.vertices + i for i in range(1, 4)]
+        model = SequenceReplayDeformation(frames)
+        model.bind(mesh)
+        model.apply(4)       # wraps to frame 0
+        assert np.allclose(mesh.vertices, frames[0])
+
+    def test_empty_frames_rejected(self):
+        with pytest.raises(SimulationError):
+            SequenceReplayDeformation([])
+
+    def test_shape_mismatch_rejected(self, grid_mesh):
+        model = SequenceReplayDeformation([np.zeros((3, 3))])
+        with pytest.raises(SimulationError):
+            model.bind(grid_mesh.copy())

@@ -1,0 +1,136 @@
+"""Tests for the experiment harness: datasets registry, reporting, comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    PROFILES,
+    animation_sequences,
+    comparison_rows,
+    earthquake_pair,
+    fixed_workload_provider,
+    format_table,
+    format_value,
+    make_strategy,
+    neuron_largest,
+    neuron_series,
+    per_step_workload_provider,
+    run_comparison,
+    strategy_suite,
+)
+from repro.simulation import RandomWalkDeformation
+from repro.workloads import random_query_workload
+
+
+class TestDatasetsRegistry:
+    def test_profiles_exist(self):
+        assert {"tiny", "small", "medium"} <= set(PROFILES)
+
+    def test_neuron_series_tiny(self):
+        series = neuron_series("tiny")
+        assert len(series) == 5
+        sizes = [mesh.n_vertices for mesh in series]
+        assert sizes == sorted(sizes)
+        ratios = [mesh.surface_to_volume_ratio() for mesh in series]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_neuron_series_cached(self):
+        assert neuron_series("tiny") is neuron_series("tiny")
+
+    def test_largest_matches_series_tail(self):
+        largest = neuron_largest("tiny")
+        series = neuron_series("tiny")
+        assert largest.n_vertices == series[-1].n_vertices
+
+    def test_earthquake_pair_ordering(self):
+        sf2, sf1 = earthquake_pair("tiny")
+        assert sf1.n_vertices > sf2.n_vertices
+
+    def test_animation_sequences(self):
+        sequences = animation_sequences("tiny")
+        assert [s.name for s in sequences] == [
+            "horse-gallop", "facial-expression", "camel-compress"
+        ]
+
+    def test_unknown_profile(self):
+        with pytest.raises(ExperimentError):
+            neuron_series("enormous")
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(3) == "3"
+        assert format_value(True) == "True"
+        assert format_value(3.14159, precision=2) == "3.14"
+        assert "e" in format_value(1.5e-9)
+
+    def test_format_table_alignment_and_content(self):
+        rows = [
+            {"strategy": "octopus", "time": 1.5},
+            {"strategy": "linear-scan", "time": 12.25},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "strategy" in lines[1]
+        assert any("octopus" in line for line in lines)
+        assert any("12.25" in line for line in lines)
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestHarness:
+    def test_make_strategy_by_name(self):
+        assert make_strategy("octopus").name == "octopus"
+        assert make_strategy("qu-trade", window_fraction=0.1).name == "qu-trade"
+        with pytest.raises(ExperimentError):
+            make_strategy("nonexistent")
+
+    def test_strategy_suite_default_matches_paper(self):
+        names = [s.name for s in strategy_suite()]
+        assert names == ["octopus", "linear-scan", "octree", "lur-tree", "qu-trade"]
+
+    def test_run_comparison_and_rows(self):
+        mesh = neuron_series("tiny")[0].copy()
+        workload = random_query_workload(mesh, selectivity=0.01, n_queries=3, seed=0)
+        report = run_comparison(
+            mesh=mesh,
+            strategies=strategy_suite(("octopus", "linear-scan")),
+            deformation=RandomWalkDeformation(amplitude=0.0005),
+            n_steps=2,
+            query_provider=fixed_workload_provider(workload),
+        )
+        rows = comparison_rows(report)
+        assert {row["strategy"] for row in rows} == {"octopus", "linear-scan"}
+        by_name = {row["strategy"]: row for row in rows}
+        assert by_name["linear-scan"]["speedup_vs_baseline_time"] == pytest.approx(1.0)
+        assert by_name["octopus"]["speedup_vs_baseline_work"] > 1.0
+        assert by_name["octopus"]["total_results"] == by_name["linear-scan"]["total_results"]
+
+    def test_comparison_rows_requires_baseline(self):
+        mesh = neuron_series("tiny")[0].copy()
+        workload = random_query_workload(mesh, selectivity=0.01, n_queries=2, seed=0)
+        report = run_comparison(
+            mesh=mesh,
+            strategies=strategy_suite(("octopus",)),
+            deformation=RandomWalkDeformation(amplitude=0.0005),
+            n_steps=1,
+            query_provider=fixed_workload_provider(workload),
+        )
+        with pytest.raises(ExperimentError):
+            comparison_rows(report, baseline="linear-scan")
+
+    def test_per_step_workload_provider_varies_queries(self):
+        mesh = neuron_series("tiny")[0]
+        provider = per_step_workload_provider(selectivity=0.01, queries_per_step=2, seed=0)
+        first = provider(mesh, 1)
+        second = provider(mesh, 2)
+        assert len(first) == len(second) == 2
+        assert not np.allclose(first[0].lo, second[0].lo)

@@ -1,0 +1,74 @@
+"""Tests for the deforming animation sequence generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.generators import (
+    AnimationSequence,
+    animation_suite,
+    camel_compress,
+    facial_expression,
+    horse_gallop,
+)
+from repro.mesh import validate_mesh
+
+
+class TestSequences:
+    def test_horse_gallop_structure(self):
+        sequence = horse_gallop(resolution=10, n_frames=6)
+        assert sequence.n_frames == 6
+        assert sequence.name == "horse-gallop"
+        assert validate_mesh(sequence.mesh).is_valid
+        for frame in sequence.frames:
+            assert frame.shape == sequence.mesh.vertices.shape
+
+    def test_facial_expression_frames_progress(self):
+        sequence = facial_expression(resolution=12, n_frames=4)
+        # Successive frames move further from the base positions (blend grows).
+        base = sequence.mesh.vertices
+        displacements = [np.abs(frame - base).max() for frame in sequence.frames]
+        assert displacements == sorted(displacements)
+
+    def test_camel_compress_squashes_height(self):
+        sequence = camel_compress(resolution=10, n_frames=5)
+        first_height = np.ptp(sequence.frames[0][:, 2])
+        last_height = np.ptp(sequence.frames[-1][:, 2])
+        assert last_height < first_height
+
+    def test_apply_frame_updates_mesh_in_place(self):
+        sequence = horse_gallop(resolution=10, n_frames=4)
+        array = sequence.mesh.vertices
+        sequence.apply_frame(2)
+        assert sequence.mesh.vertices is array
+        assert np.allclose(sequence.mesh.vertices, sequence.frames[2])
+
+    def test_characterize_row(self):
+        sequence = camel_compress(resolution=10, n_frames=5)
+        row = sequence.characterize()
+        assert row["name"] == "camel-compress"
+        assert row["time_steps"] == 5
+
+    def test_frame_shape_mismatch_rejected(self):
+        sequence = horse_gallop(resolution=10, n_frames=2)
+        with pytest.raises(MeshError):
+            AnimationSequence("bad", sequence.mesh, [np.zeros((3, 3))])
+
+
+class TestSuite:
+    def test_suite_contains_three_sequences(self):
+        suite = animation_suite(scale=0.35)
+        assert [s.name for s in suite] == ["horse-gallop", "facial-expression", "camel-compress"]
+
+    def test_suite_time_step_counts_match_paper(self):
+        suite = animation_suite(scale=0.35)
+        assert [s.n_frames for s in suite] == [48, 9, 53]
+
+    def test_facial_expression_has_smallest_surface_ratio(self):
+        suite = animation_suite(scale=0.5)
+        ratios = {s.name: s.mesh.surface_to_volume_ratio() for s in suite}
+        assert ratios["facial-expression"] == min(ratios.values())
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(MeshError):
+            animation_suite(scale=0.0)

@@ -1,0 +1,84 @@
+"""Tests for the implicit shapes used by the carving generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.generators import BoxShape, Capsule, Ellipsoid, Sphere, Union
+from repro.mesh import Box3D
+
+
+class TestSphere:
+    def test_contains(self):
+        sphere = Sphere((0, 0, 0), 1.0)
+        pts = np.array([[0, 0, 0], [0.9, 0, 0], [1.1, 0, 0], [0.6, 0.6, 0.6]])
+        assert sphere.contains(pts).tolist() == [True, True, False, False]
+
+    def test_bounds(self):
+        sphere = Sphere((1, 2, 3), 0.5)
+        bounds = sphere.bounds()
+        assert np.allclose(bounds.lo, [0.5, 1.5, 2.5])
+        assert np.allclose(bounds.hi, [1.5, 2.5, 3.5])
+
+    def test_rejects_non_positive_radius(self):
+        with pytest.raises(GeometryError):
+            Sphere((0, 0, 0), 0.0)
+
+
+class TestEllipsoid:
+    def test_contains_respects_anisotropy(self):
+        ellipsoid = Ellipsoid((0, 0, 0), (2.0, 1.0, 0.5))
+        pts = np.array([[1.9, 0, 0], [0, 0.9, 0], [0, 0, 0.6], [0, 0, 0.4]])
+        assert ellipsoid.contains(pts).tolist() == [True, True, False, True]
+
+    def test_rejects_non_positive_radii(self):
+        with pytest.raises(GeometryError):
+            Ellipsoid((0, 0, 0), (1.0, 0.0, 1.0))
+
+
+class TestCapsule:
+    def test_contains_along_segment_and_caps(self):
+        capsule = Capsule((0, 0, 0), (2, 0, 0), 0.5)
+        pts = np.array(
+            [[1, 0.4, 0], [1, 0.6, 0], [-0.4, 0, 0], [-0.6, 0, 0], [2.4, 0, 0], [2.6, 0, 0]]
+        )
+        assert capsule.contains(pts).tolist() == [True, False, True, False, True, False]
+
+    def test_degenerate_capsule_is_sphere(self):
+        capsule = Capsule((1, 1, 1), (1, 1, 1), 0.5)
+        pts = np.array([[1, 1, 1.4], [1, 1, 1.6]])
+        assert capsule.contains(pts).tolist() == [True, False]
+
+    def test_bounds_enclose_both_caps(self):
+        capsule = Capsule((0, 0, 0), (1, 2, 3), 0.25)
+        bounds = capsule.bounds()
+        assert np.allclose(bounds.lo, [-0.25, -0.25, -0.25])
+        assert np.allclose(bounds.hi, [1.25, 2.25, 3.25])
+
+
+class TestBoxAndUnion:
+    def test_box_shape(self):
+        shape = BoxShape(Box3D((0, 0, 0), (1, 1, 1)))
+        pts = np.array([[0.5, 0.5, 0.5], [1.5, 0.5, 0.5]])
+        assert shape.contains(pts).tolist() == [True, False]
+
+    def test_union_contains_any_member(self):
+        union = Union([Sphere((0, 0, 0), 0.5), Sphere((2, 0, 0), 0.5)])
+        pts = np.array([[0, 0, 0], [2, 0, 0], [1, 0, 0]])
+        assert union.contains(pts).tolist() == [True, True, False]
+
+    def test_union_bounds_cover_members(self):
+        union = Union([Sphere((0, 0, 0), 1.0), Sphere((5, 0, 0), 1.0)])
+        bounds = union.bounds()
+        assert bounds.contains_point((5.9, 0, 0))
+        assert bounds.contains_point((-0.9, 0, 0))
+
+    def test_union_via_or_operator(self):
+        union = Sphere((0, 0, 0), 1.0) | Sphere((3, 0, 0), 1.0)
+        assert isinstance(union, Union)
+        extended = union | Sphere((6, 0, 0), 1.0)
+        assert len(extended.members) == 3
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(GeometryError):
+            Union([])

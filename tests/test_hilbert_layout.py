@@ -1,0 +1,85 @@
+"""Tests for the Hilbert curve and the data-layout optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError, MeshError
+from repro.mesh import (
+    hilbert_distances,
+    hilbert_layout,
+    hilbert_sort_order,
+    layout_locality_score,
+    random_layout,
+)
+
+
+class TestHilbertDistances:
+    def test_output_shape_and_dtype(self, rng):
+        pts = rng.uniform(size=(100, 3))
+        distances = hilbert_distances(pts, bits=8)
+        assert distances.shape == (100,)
+        assert distances.dtype == np.uint64
+
+    def test_distinct_lattice_points_get_distinct_indices(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 1]], dtype=float)
+        distances = hilbert_distances(pts, bits=4)
+        assert len(set(distances.tolist())) == len(pts)
+
+    def test_range_bounded_by_bits(self, rng):
+        pts = rng.uniform(size=(200, 3))
+        bits = 5
+        distances = hilbert_distances(pts, bits=bits)
+        assert int(distances.max()) < 2 ** (3 * bits)
+
+    def test_locality_neighbouring_points_have_close_indices(self):
+        # Points along a dense axis-aligned line: Hilbert indices of adjacent
+        # samples should on average be far closer than those of random pairs.
+        t = np.linspace(0, 1, 512)
+        pts = np.stack([t, np.zeros_like(t), np.zeros_like(t)], axis=1)
+        pts = np.vstack([pts, np.random.default_rng(0).uniform(size=(512, 3))])
+        distances = hilbert_distances(pts, bits=8).astype(np.float64)
+        line = distances[:512]
+        adjacent_gap = np.abs(np.diff(line)).mean()
+        random_gap = np.abs(np.diff(np.random.default_rng(1).permutation(line))).mean()
+        assert adjacent_gap < random_gap / 5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GeometryError):
+            hilbert_distances(np.zeros((3, 2)))
+        with pytest.raises(GeometryError):
+            hilbert_distances(np.zeros((3, 3)), bits=0)
+
+    def test_empty_input(self):
+        assert hilbert_distances(np.empty((0, 3))).size == 0
+
+    def test_sort_order_is_permutation(self, rng):
+        pts = rng.uniform(size=(50, 3))
+        order = hilbert_sort_order(pts)
+        assert np.array_equal(np.sort(order), np.arange(50))
+
+
+class TestLayouts:
+    def test_hilbert_layout_preserves_mesh(self, grid_mesh):
+        laid_out = hilbert_layout(grid_mesh)
+        assert laid_out.n_vertices == grid_mesh.n_vertices
+        assert laid_out.n_cells == grid_mesh.n_cells
+        # Same multiset of coordinates and same total volume.
+        assert np.allclose(
+            np.sort(laid_out.vertices.ravel()), np.sort(grid_mesh.vertices.ravel())
+        )
+        assert laid_out.total_volume() == pytest.approx(grid_mesh.total_volume())
+
+    def test_hilbert_layout_improves_locality_over_shuffled(self, grid_mesh):
+        shuffled = random_layout(grid_mesh, seed=1)
+        improved = hilbert_layout(shuffled)
+        assert layout_locality_score(improved) < layout_locality_score(shuffled)
+
+    def test_random_layout_differs(self, grid_mesh):
+        shuffled = random_layout(grid_mesh, seed=2)
+        assert not np.allclose(shuffled.vertices, grid_mesh.vertices)
+
+    def test_locality_score_empty_adjacency(self):
+        from repro.mesh import TetrahedralMesh
+
+        mesh = TetrahedralMesh(np.zeros((3, 3)), np.empty((0, 4), dtype=np.int64))
+        assert layout_locality_score(mesh) == 0.0

@@ -1,0 +1,131 @@
+"""Tests for OCTOPUS-CON (stale grid + directed walk + crawl on convex meshes)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearScanExecutor
+from repro.core import OctopusConExecutor, OctopusExecutor, QueryCounters, UniformGrid
+from repro.errors import IndexError_, QueryError
+from repro.mesh import Box3D
+from repro.simulation import AffineDeformation
+from repro.workloads import random_query_workload
+
+
+class TestUniformGrid:
+    def test_build_and_query_match_brute_force(self, grid_mesh, rng):
+        grid = UniformGrid(resolution=4)
+        grid.build(grid_mesh.vertices)
+        for _ in range(10):
+            corners = rng.uniform(0, 1, size=(2, 3))
+            box = Box3D(corners.min(axis=0), corners.max(axis=0))
+            expected = np.nonzero(
+                np.all((grid_mesh.vertices >= box.lo) & (grid_mesh.vertices <= box.hi), axis=1)
+            )[0]
+            got = grid.query(box, grid_mesh.vertices)
+            assert np.array_equal(got, expected)
+
+    def test_any_vertex_near_returns_nearby_vertex(self, grid_mesh):
+        grid = UniformGrid(resolution=5)
+        grid.build(grid_mesh.vertices)
+        counters = QueryCounters()
+        vertex = grid.any_vertex_near(np.array([0.5, 0.5, 0.5]), counters)
+        assert vertex is not None
+        assert np.linalg.norm(grid_mesh.vertices[vertex] - 0.5) < 0.5
+        assert counters.index_nodes_visited >= 1
+
+    def test_any_vertex_near_expands_rings_when_cell_empty(self, neuron_small):
+        # A fine grid over a non-convex mesh has many empty cells: query a
+        # point in the bounding box far from the mesh material.
+        grid = UniformGrid(resolution=12)
+        grid.build(neuron_small.vertices)
+        corner = neuron_small.bounding_box().lo
+        vertex = grid.any_vertex_near(corner)
+        assert vertex is not None
+
+    def test_query_before_build_raises(self):
+        grid = UniformGrid(resolution=4)
+        with pytest.raises(IndexError_):
+            grid.query(Box3D.cube((0, 0, 0), 1.0), np.zeros((1, 3)))
+
+    def test_invalid_resolution(self):
+        with pytest.raises(IndexError_):
+            UniformGrid(resolution=0)
+
+    def test_memory_grows_with_resolution(self, grid_mesh):
+        coarse = UniformGrid(resolution=2)
+        coarse.build(grid_mesh.vertices)
+        fine = UniformGrid(resolution=16)
+        fine.build(grid_mesh.vertices)
+        assert fine.memory_bytes() > coarse.memory_bytes()
+
+
+class TestOctopusCon:
+    def test_matches_linear_scan_on_convex_mesh(self, earthquake_small):
+        workload = random_query_workload(earthquake_small, selectivity=0.02, n_queries=8, seed=0)
+        con = OctopusConExecutor(grid_resolution=6)
+        con.prepare(earthquake_small)
+        linear = LinearScanExecutor()
+        linear.prepare(earthquake_small)
+        for box in workload.boxes:
+            assert con.query(box).same_vertices_as(linear.query(box))
+
+    def test_correct_with_stale_grid_after_affine_deformation(self, earthquake_small):
+        mesh = earthquake_small.copy()
+        con = OctopusConExecutor(grid_resolution=6)
+        con.prepare(mesh)
+        linear = LinearScanExecutor()
+        linear.prepare(mesh)
+        deformation = AffineDeformation(stretch_amplitude=0.15, shear_amplitude=0.05)
+        deformation.bind(mesh)
+        for step in range(1, 5):
+            deformation.apply(step)
+            assert con.on_step() == 0.0     # the grid is never maintained
+            workload = random_query_workload(mesh, selectivity=0.02, n_queries=3, seed=step)
+            for box in workload.boxes:
+                assert con.query(box).same_vertices_as(linear.query(box))
+
+    def test_empty_query_far_away(self, earthquake_small):
+        con = OctopusConExecutor()
+        con.prepare(earthquake_small)
+        far = earthquake_small.bounding_box().hi + 100.0
+        assert con.query(Box3D.cube(far, 1.0)).n_results == 0
+
+    def test_no_surface_probe_work(self, earthquake_small):
+        con = OctopusConExecutor()
+        con.prepare(earthquake_small)
+        workload = random_query_workload(earthquake_small, selectivity=0.02, n_queries=3, seed=1)
+        for box in workload.boxes:
+            result = con.query(box)
+            assert result.counters.surface_probed == 0
+
+    def test_less_work_than_octopus_on_convex_mesh(self, earthquake_small):
+        """OCTOPUS-CON skips the surface probe and should do less total work."""
+        workload = random_query_workload(earthquake_small, selectivity=0.01, n_queries=5, seed=2)
+        con = OctopusConExecutor()
+        con.prepare(earthquake_small)
+        full = OctopusExecutor()
+        full.prepare(earthquake_small)
+        con_work = sum(con.query(b).counters.total_vertex_accesses() for b in workload.boxes)
+        full_work = sum(full.query(b).counters.total_vertex_accesses() for b in workload.boxes)
+        assert con_work < full_work
+
+    def test_finer_grid_shortens_directed_walk(self, earthquake_small):
+        workload = random_query_workload(earthquake_small, selectivity=0.005, n_queries=6, seed=3)
+        coarse = OctopusConExecutor(grid_resolution=1)
+        coarse.prepare(earthquake_small)
+        fine = OctopusConExecutor(grid_resolution=8)
+        fine.prepare(earthquake_small)
+        coarse_walk = sum(coarse.query(b).counters.walk_vertices_visited for b in workload.boxes)
+        fine_walk = sum(fine.query(b).counters.walk_vertices_visited for b in workload.boxes)
+        assert fine_walk <= coarse_walk
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(QueryError):
+            OctopusConExecutor(grid_resolution=0)
+
+    def test_memory_overhead_grows_with_resolution(self, earthquake_small):
+        small = OctopusConExecutor(grid_resolution=2)
+        small.prepare(earthquake_small)
+        big = OctopusConExecutor(grid_resolution=12)
+        big.prepare(earthquake_small)
+        assert big.memory_overhead_bytes() > small.memory_overhead_bytes()

@@ -1,0 +1,96 @@
+"""Tests for the RUM-Tree (memo-based R-tree) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearScanExecutor
+from repro.baselines.rum_tree import RUMTreeExecutor
+from repro.errors import IndexError_
+from repro.simulation import RandomWalkDeformation
+from repro.workloads import random_query_workload
+
+
+class TestRUMTree:
+    def test_initial_query_matches_linear_scan(self, neuron_small):
+        rum = RUMTreeExecutor(fanout=32)
+        rum.prepare(neuron_small)
+        linear = LinearScanExecutor()
+        linear.prepare(neuron_small)
+        workload = random_query_workload(neuron_small, selectivity=0.02, n_queries=5, seed=0)
+        for box in workload.boxes:
+            assert rum.query(box).same_vertices_as(linear.query(box))
+
+    def test_stays_correct_across_deformation_steps(self, neuron_small):
+        mesh = neuron_small.copy()
+        rum = RUMTreeExecutor(fanout=32)
+        rum.prepare(mesh)
+        linear = LinearScanExecutor()
+        linear.prepare(mesh)
+        deformation = RandomWalkDeformation(amplitude=0.002, seed=1)
+        deformation.bind(mesh)
+        for step in range(1, 4):
+            deformation.apply(step)
+            rum.on_step()
+            workload = random_query_workload(mesh, selectivity=0.02, n_queries=3, seed=step)
+            for box in workload.boxes:
+                assert rum.query(box).same_vertices_as(linear.query(box))
+
+    def test_every_step_reinserts_every_vertex(self, neuron_small):
+        """The paper's Section II-A argument: the memo approach degenerates to
+        repetitive insertion of all objects under mesh-simulation workloads."""
+        mesh = neuron_small.copy()
+        rum = RUMTreeExecutor(fanout=32)
+        rum.prepare(mesh)
+        deformation = RandomWalkDeformation(amplitude=0.001, seed=2)
+        deformation.bind(mesh)
+        deformation.apply(1)
+        rum.on_step()
+        assert rum.maintenance_entries == mesh.n_vertices
+        assert rum.n_obsolete_entries == mesh.n_vertices
+        assert rum.n_entries == 2 * mesh.n_vertices
+
+    def test_garbage_collection_triggers_and_shrinks_tree(self, neuron_small):
+        mesh = neuron_small.copy()
+        rum = RUMTreeExecutor(fanout=32, garbage_threshold=1.5)
+        rum.prepare(mesh)
+        deformation = RandomWalkDeformation(amplitude=0.001, seed=3)
+        deformation.bind(mesh)
+        for step in range(1, 4):
+            deformation.apply(step)
+            rum.on_step()
+        assert rum.n_garbage_collections >= 1
+        # After a collection the entry count drops back towards the live count.
+        assert rum.n_entries <= 3 * mesh.n_vertices
+
+    def test_maintenance_dominates_vs_octopus(self, neuron_small):
+        """RUM-Tree pays per-step maintenance proportional to the dataset;
+        OCTOPUS pays none."""
+        from repro.core import OctopusExecutor
+
+        mesh = neuron_small.copy()
+        rum = RUMTreeExecutor(fanout=32)
+        rum.prepare(mesh)
+        octopus = OctopusExecutor()
+        octopus.prepare(mesh)
+        deformation = RandomWalkDeformation(amplitude=0.001, seed=4)
+        deformation.bind(mesh)
+        deformation.apply(1)
+        assert rum.on_step() > 0.0
+        assert octopus.on_step() == 0.0
+        assert rum.maintenance_entries == mesh.n_vertices
+        assert octopus.maintenance_entries == 0
+
+    def test_memory_overhead_grows_with_obsolete_entries(self, neuron_small):
+        mesh = neuron_small.copy()
+        rum = RUMTreeExecutor(fanout=32, garbage_threshold=10.0)
+        rum.prepare(mesh)
+        before = rum.memory_overhead_bytes()
+        deformation = RandomWalkDeformation(amplitude=0.001, seed=5)
+        deformation.bind(mesh)
+        deformation.apply(1)
+        rum.on_step()
+        assert rum.memory_overhead_bytes() > before
+
+    def test_invalid_threshold(self):
+        with pytest.raises(IndexError_):
+            RUMTreeExecutor(garbage_threshold=0.0)

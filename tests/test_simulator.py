@@ -1,0 +1,132 @@
+"""Tests for the simulation driver and its reports."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearScanExecutor
+from repro.core import OctopusExecutor
+from repro.errors import SimulationError
+from repro.simulation import MeshSimulation, RandomWalkDeformation, SinusoidalWaveDeformation
+from repro.workloads import random_query_workload
+
+
+def fixed_provider(boxes):
+    def provider(mesh, step):
+        return boxes
+    return provider
+
+
+class TestSimulationRun:
+    def test_reports_for_every_strategy(self, neuron_small):
+        mesh = neuron_small.copy()
+        workload = random_query_workload(mesh, selectivity=0.01, n_queries=3, seed=0)
+        simulation = MeshSimulation(
+            mesh=mesh,
+            deformation=SinusoidalWaveDeformation(amplitude=0.01),
+            strategies=[OctopusExecutor(), LinearScanExecutor()],
+            query_provider=fixed_provider(workload.boxes),
+        )
+        report = simulation.run(n_steps=3)
+        assert set(report.names()) == {"octopus", "linear-scan"}
+        assert report.n_steps == 3
+        for name in report.names():
+            strategy_report = report[name]
+            assert strategy_report.n_queries == 9
+            assert len(strategy_report.steps) == 3
+            assert strategy_report.total_query_time > 0
+            assert strategy_report.total_response_time >= strategy_report.total_query_time
+
+    def test_strategies_see_identical_queries_and_agree(self, neuron_small):
+        mesh = neuron_small.copy()
+        workload = random_query_workload(mesh, selectivity=0.02, n_queries=3, seed=1)
+        simulation = MeshSimulation(
+            mesh=mesh,
+            deformation=SinusoidalWaveDeformation(amplitude=0.01),
+            strategies=[LinearScanExecutor(), OctopusExecutor()],
+            query_provider=fixed_provider(workload.boxes),
+            validate_results=True,            # raises if any strategy disagrees
+        )
+        report = simulation.run(n_steps=2)
+        octopus = report["octopus"]
+        linear = report["linear-scan"]
+        assert octopus.total_results == linear.total_results
+
+    def test_validation_catches_wrong_strategy(self, neuron_small):
+        class BrokenExecutor(LinearScanExecutor):
+            name = "broken"
+
+            def query(self, box):
+                result = super().query(box)
+                result.vertex_ids = result.vertex_ids[:-1]   # drop one vertex
+                return result
+
+        mesh = neuron_small.copy()
+        workload = random_query_workload(mesh, selectivity=0.05, n_queries=1, seed=2)
+        simulation = MeshSimulation(
+            mesh=mesh,
+            deformation=SinusoidalWaveDeformation(amplitude=0.005),
+            strategies=[LinearScanExecutor(), BrokenExecutor()],
+            query_provider=fixed_provider(workload.boxes),
+            validate_results=True,
+        )
+        with pytest.raises(SimulationError):
+            simulation.run(n_steps=1)
+
+    def test_speedup_against_baseline(self, neuron_small):
+        mesh = neuron_small.copy()
+        workload = random_query_workload(mesh, selectivity=0.005, n_queries=3, seed=3)
+        simulation = MeshSimulation(
+            mesh=mesh,
+            deformation=SinusoidalWaveDeformation(amplitude=0.01),
+            strategies=[OctopusExecutor(), LinearScanExecutor()],
+            query_provider=fixed_provider(workload.boxes),
+        )
+        report = simulation.run(n_steps=2)
+        speedup_work = report["octopus"].speedup_against(report["linear-scan"], use_work=True)
+        assert speedup_work > 1.0          # OCTOPUS does less work than a full scan
+        assert report["linear-scan"].speedup_against(report["linear-scan"]) == pytest.approx(1.0)
+
+    def test_counters_accumulate(self, neuron_small):
+        mesh = neuron_small.copy()
+        workload = random_query_workload(mesh, selectivity=0.01, n_queries=2, seed=4)
+        simulation = MeshSimulation(
+            mesh=mesh,
+            deformation=RandomWalkDeformation(amplitude=0.0005),
+            strategies=[LinearScanExecutor()],
+            query_provider=fixed_provider(workload.boxes),
+        )
+        report = simulation.run(n_steps=2)
+        linear = report["linear-scan"]
+        assert linear.counters.vertices_scanned == 2 * 2 * mesh.n_vertices
+        assert linear.total_work() == linear.counters.vertices_scanned
+
+    def test_phase_times_accumulated_for_octopus(self, neuron_small):
+        mesh = neuron_small.copy()
+        workload = random_query_workload(mesh, selectivity=0.01, n_queries=2, seed=5)
+        simulation = MeshSimulation(
+            mesh=mesh,
+            deformation=RandomWalkDeformation(amplitude=0.0005),
+            strategies=[OctopusExecutor()],
+            query_provider=fixed_provider(workload.boxes),
+        )
+        report = simulation.run(n_steps=2)
+        octopus = report["octopus"]
+        assert octopus.total_probe_time > 0
+        assert octopus.total_crawl_time > 0
+
+    def test_invalid_configuration(self, neuron_small):
+        mesh = neuron_small.copy()
+        with pytest.raises(SimulationError):
+            MeshSimulation(mesh, RandomWalkDeformation(), [], fixed_provider([]))
+        with pytest.raises(SimulationError):
+            MeshSimulation(
+                mesh,
+                RandomWalkDeformation(),
+                [LinearScanExecutor(), LinearScanExecutor()],
+                fixed_provider([]),
+            )
+        simulation = MeshSimulation(
+            mesh, RandomWalkDeformation(), [LinearScanExecutor()], fixed_provider([])
+        )
+        with pytest.raises(SimulationError):
+            simulation.run(n_steps=0)

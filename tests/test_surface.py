@@ -1,0 +1,96 @@
+"""Tests for repro.mesh.surface (global face list and surface extraction)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshConnectivityError
+from repro.mesh.surface import cell_faces, extract_surface
+
+
+class TestCellFaces:
+    def test_tetrahedron_has_four_faces(self):
+        faces = cell_faces(np.array([[0, 1, 2, 3]]))
+        assert faces.shape == (4, 3)
+
+    def test_hexahedron_has_six_faces(self):
+        faces = cell_faces(np.arange(8).reshape(1, 8))
+        assert faces.shape == (6, 4)
+
+    def test_triangle_is_its_own_face(self):
+        faces = cell_faces(np.array([[0, 1, 2]]))
+        assert faces.shape == (1, 3)
+
+    def test_empty_cells(self):
+        assert cell_faces(np.empty((0, 4))).shape[0] == 0
+
+    def test_unsupported_arity(self):
+        with pytest.raises(MeshConnectivityError):
+            cell_faces(np.array([[0, 1, 2, 3, 4, 5]]))
+
+
+class TestExtractSurface:
+    def test_single_tetrahedron_all_vertices_on_surface(self):
+        extraction = extract_surface(np.array([[0, 1, 2, 3]]))
+        assert extraction.surface_vertices.tolist() == [0, 1, 2, 3]
+        assert extraction.surface_faces.shape == (4, 3)
+        assert extraction.n_faces_total == 4
+
+    def test_two_tetrahedra_shared_face_is_interior(self):
+        # Tets (0,1,2,3) and (1,2,3,4): face (1,2,3) is shared, hence interior.
+        extraction = extract_surface(np.array([[0, 1, 2, 3], [1, 2, 3, 4]]))
+        assert extraction.surface_faces.shape[0] == 6   # 8 faces total, 1 shared pair
+        # All five vertices still touch at least one boundary face.
+        assert extraction.surface_vertices.tolist() == [0, 1, 2, 3, 4]
+        canonical = {tuple(sorted(f)) for f in extraction.surface_faces.tolist()}
+        assert (1, 2, 3) not in canonical
+
+    def test_structured_grid_interior_vertex_not_on_surface(self, grid_mesh):
+        surface = grid_mesh.surface_vertices()
+        # The 5x5x5-cube grid has 6^3 vertices; interior ones are 4^3.
+        assert surface.size == 6**3 - 4**3
+        interior = np.setdiff1d(np.arange(grid_mesh.n_vertices), surface)
+        # Every interior vertex is strictly inside the unit cube.
+        pts = grid_mesh.vertices[interior]
+        assert np.all(pts > 0.0) and np.all(pts < 1.0)
+
+    def test_surface_faces_are_on_boundary_of_grid(self, grid_mesh):
+        extraction = grid_mesh.surface
+        face_points = grid_mesh.vertices[extraction.surface_faces]
+        # Every boundary face of the unit-cube grid lies in a plane x/y/z = 0 or 1.
+        on_boundary = np.isclose(face_points, 0.0) | np.isclose(face_points, 1.0)
+        assert np.all(on_boundary.any(axis=2).all(axis=1))
+
+    def test_non_manifold_raises(self):
+        # Three tetrahedra all sharing the same face (0,1,2).
+        cells = np.array([[0, 1, 2, 3], [0, 1, 2, 4], [0, 1, 2, 5]])
+        with pytest.raises(MeshConnectivityError):
+            extract_surface(cells)
+
+    def test_triangle_mesh_every_vertex_on_surface(self):
+        cells = np.array([[0, 1, 2], [1, 2, 3]])
+        extraction = extract_surface(cells)
+        assert extraction.surface_vertices.tolist() == [0, 1, 2, 3]
+
+    def test_empty_cells(self):
+        extraction = extract_surface(np.empty((0, 4)))
+        assert extraction.n_surface_vertices == 0
+        assert extraction.n_faces_total == 0
+
+    def test_surface_to_volume_ratio(self):
+        extraction = extract_surface(np.array([[0, 1, 2, 3]]))
+        assert extraction.surface_to_volume_ratio(4) == pytest.approx(1.0)
+        assert extraction.surface_to_volume_ratio(8) == pytest.approx(0.5)
+        with pytest.raises(MeshConnectivityError):
+            extraction.surface_to_volume_ratio(0)
+
+    def test_deformation_does_not_change_surface(self, grid_mesh):
+        """The core OCTOPUS insight: the surface only depends on connectivity."""
+        mesh = grid_mesh.copy()
+        before = mesh.surface_vertices().copy()
+        rng = np.random.default_rng(0)
+        mesh.displace(rng.normal(scale=0.2, size=mesh.vertices.shape))
+        # The cached extraction is untouched, and recomputing from the cells
+        # gives the identical answer because positions never enter into it.
+        assert np.array_equal(mesh.surface_vertices(), before)
+        fresh = extract_surface(mesh.cells)
+        assert np.array_equal(fresh.surface_vertices, before)
