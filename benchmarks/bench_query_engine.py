@@ -1,0 +1,178 @@
+"""Microbenchmark for the zero-allocation query engine.
+
+Measures, on the fig05-style point-query workload (small boxes centred on
+random mesh vertices, microbenchmark-B selectivity):
+
+* **batched vs. sequential** — ``OctopusExecutor.query_many(boxes)`` against
+  the equivalent sequential ``query(box)`` loop (same executor, same boxes);
+* **scratch vs. naive crawl** — crawls reusing one :class:`CrawlScratch`
+  arena against crawls paying a fresh O(n_vertices) visited allocation per
+  query.
+
+Writes a perf record to ``BENCH_query_engine.json`` at the repository root so
+future PRs can track the trajectory, and prints the same numbers.  Run it
+directly::
+
+    REPRO_BENCH_PROFILE=tiny python benchmarks/bench_query_engine.py
+
+or through pytest (``pytest benchmarks/bench_query_engine.py -s``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core import CrawlScratch, OctopusExecutor, crawl  # noqa: E402
+from repro.experiments.datasets import neuron_largest  # noqa: E402
+from repro.mesh import points_in_box  # noqa: E402
+from repro.workloads import random_query_workload  # noqa: E402
+
+RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_query_engine.json"
+
+#: fig05 microbenchmark-B style point queries: tiny selectivity, many boxes
+POINT_QUERY_SELECTIVITY = 0.0008
+N_QUERIES = 64
+N_ROUNDS = 5
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _best_of_interleaved(rounds: int, a, b) -> tuple[float, float]:
+    """Best-of-N seconds for two contenders, alternating so neither benefits
+    from cache-warming order."""
+    a(), b()
+    times_a, times_b = [], []
+    for _ in range(rounds):
+        times_a.append(_timed(a))
+        times_b.append(_timed(b))
+    return min(times_a), min(times_b)
+
+
+def bench_batched_vs_sequential(mesh, boxes) -> dict:
+    executor = OctopusExecutor()
+    executor.prepare(mesh)
+
+    sequential_time, batched_time = _best_of_interleaved(
+        N_ROUNDS,
+        lambda: [executor.query(box) for box in boxes],
+        lambda: executor.query_many(boxes),
+    )
+
+    batched = executor.query_many(boxes)
+    sequential = [executor.query(box) for box in boxes]
+    assert all(a.same_vertices_as(b) for a, b in zip(batched, sequential))
+
+    return {
+        "n_queries": len(boxes),
+        "sequential_s": sequential_time,
+        "batched_s": batched_time,
+        "speedup": sequential_time / max(batched_time, 1e-12),
+    }
+
+
+def bench_scratch_vs_naive_crawl(mesh, boxes) -> dict:
+    start_sets = []
+    for box in boxes:
+        inside = np.nonzero(points_in_box(mesh.vertices, box))[0]
+        start_sets.append(inside[:1])
+
+    def naive():
+        for box, starts in zip(boxes, start_sets):
+            crawl(mesh, box, starts)  # fresh O(n_vertices) arena per call
+
+    scratch = CrawlScratch()
+
+    def reused():
+        for box, starts in zip(boxes, start_sets):
+            crawl(mesh, box, starts, scratch=scratch)
+
+    naive_time, scratch_time = _best_of_interleaved(N_ROUNDS, naive, reused)
+    return {
+        "n_queries": len(boxes),
+        "naive_s": naive_time,
+        "scratch_s": scratch_time,
+        "speedup": naive_time / max(scratch_time, 1e-12),
+    }
+
+
+def run(profile: str | None = None) -> dict:
+    profile = profile or os.environ.get("REPRO_BENCH_PROFILE", "small")
+    mesh = neuron_largest(profile)
+    workload = random_query_workload(
+        mesh,
+        selectivity=POINT_QUERY_SELECTIVITY,
+        n_queries=N_QUERIES,
+        seed=42,
+        description="fig05-style point queries",
+    )
+    record = {
+        "benchmark": "query_engine",
+        "profile": profile,
+        "mesh_vertices": mesh.n_vertices,
+        "selectivity": POINT_QUERY_SELECTIVITY,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "batched_vs_sequential": bench_batched_vs_sequential(mesh, workload.boxes),
+        "scratch_vs_naive_crawl": bench_scratch_vs_naive_crawl(mesh, workload.boxes),
+    }
+    return record
+
+
+def main() -> int:
+    record = run()
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    batched = record["batched_vs_sequential"]
+    scratch = record["scratch_vs_naive_crawl"]
+    print(f"profile={record['profile']}  mesh_vertices={record['mesh_vertices']}")
+    print(
+        f"batched vs sequential: {batched['sequential_s'] * 1e3:.2f} ms -> "
+        f"{batched['batched_s'] * 1e3:.2f} ms  ({batched['speedup']:.2f}x)"
+    )
+    print(
+        f"scratch vs naive crawl: {scratch['naive_s'] * 1e3:.2f} ms -> "
+        f"{scratch['scratch_s'] * 1e3:.2f} ms  ({scratch['speedup']:.2f}x)"
+    )
+    print(f"record written to {RECORD_PATH}")
+    return 0
+
+
+def test_query_engine_benchmark(profile, record_rows):
+    """Pytest entry point: run the benchmark and persist the JSON record."""
+    record = run(profile)
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    batched = record["batched_vs_sequential"]
+    scratch = record["scratch_vs_naive_crawl"]
+    rows = [
+        {
+            "comparison": "batched vs sequential",
+            "baseline_s": batched["sequential_s"],
+            "optimized_s": batched["batched_s"],
+            "speedup": batched["speedup"],
+        },
+        {
+            "comparison": "scratch vs naive crawl",
+            "baseline_s": scratch["naive_s"],
+            "optimized_s": scratch["scratch_s"],
+            "speedup": scratch["speedup"],
+        },
+    ]
+    record_rows("bench_query_engine", rows, "Query engine microbenchmark")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

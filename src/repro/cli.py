@@ -17,6 +17,7 @@ same functions the ``benchmarks/`` suite calls; use ``pytest benchmarks/
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Callable, Sequence
@@ -117,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the table(s) to this file",
     )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="issue queries one by one instead of through the batched "
+        "query_many path (sets REPRO_SEQUENTIAL_QUERIES for the run)",
+    )
     return parser
 
 
@@ -141,7 +148,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    tables = [run_experiment(name, args.profile) for name in names]
+    previous_flag = os.environ.get("REPRO_SEQUENTIAL_QUERIES")
+    if args.no_batch:
+        os.environ["REPRO_SEQUENTIAL_QUERIES"] = "1"
+    try:
+        tables = [run_experiment(name, args.profile) for name in names]
+    finally:
+        if args.no_batch:
+            if previous_flag is None:
+                os.environ.pop("REPRO_SEQUENTIAL_QUERIES", None)
+            else:
+                os.environ["REPRO_SEQUENTIAL_QUERIES"] = previous_flag
     output = "\n\n".join(tables)
     print(output)
     if args.output is not None:

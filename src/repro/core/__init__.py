@@ -8,6 +8,7 @@ from .executor import ExecutionStrategy
 from .octopus import OctopusExecutor
 from .octopus_con import OctopusConExecutor
 from .result import QueryCounters, QueryResult
+from .scratch import CrawlScratch
 from .surface_index import SurfaceIndex, SurfaceProbeOutcome
 from .uniform_grid import UniformGrid
 
@@ -15,6 +16,7 @@ __all__ = [
     "ApproximationPoint",
     "CostModel",
     "CrawlOutcome",
+    "CrawlScratch",
     "ExecutionStrategy",
     "OctopusConExecutor",
     "OctopusExecutor",

@@ -12,6 +12,11 @@ are gathered with one CSR slice-gather, deduplicated, and tested against the
 box in a single NumPy operation.  The visit order differs from a textbook
 queue-based BFS but the set of visited vertices (and hence the result and the
 work counters) is identical.
+
+Per-query memory is O(frontier + result) when the caller supplies a
+:class:`~repro.core.scratch.CrawlScratch`: the visited test uses the scratch's
+epoch-stamped arena instead of a fresh O(n_vertices) bitmap, so repeated
+queries on a prepared executor never pay a dataset-size allocation.
 """
 
 from __future__ import annotations
@@ -20,12 +25,13 @@ import numpy as np
 
 from ..mesh import Box3D, PolyhedralMesh, points_in_box
 from .result import QueryCounters
+from .scratch import CrawlScratch
 
 __all__ = ["crawl", "CrawlOutcome"]
 
 
 class CrawlOutcome:
-    """Vertices retrieved by a crawl plus a reusable visited mask."""
+    """Vertices retrieved by a crawl plus the work it performed."""
 
     __slots__ = ("result_ids", "n_vertices_visited", "n_edges_followed")
 
@@ -35,15 +41,21 @@ class CrawlOutcome:
         self.n_edges_followed = n_edges_followed
 
 
-def _gather_neighbors(indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+def _gather_neighbors(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+    scratch: CrawlScratch | None = None,
+) -> np.ndarray:
     """All neighbour ids of the frontier vertices (with duplicates)."""
     starts = indptr[frontier]
     counts = indptr[frontier + 1] - starts
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
+    ramp = scratch.iota(total) if scratch is not None else np.arange(total, dtype=np.int64)
     owner = np.repeat(np.arange(frontier.size), counts)
-    offsets = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+    offsets = ramp - np.repeat(np.cumsum(counts) - counts, counts)
     return indices[starts[owner] + offsets]
 
 
@@ -52,6 +64,7 @@ def crawl(
     box: Box3D,
     start_vertices: np.ndarray,
     counters: QueryCounters | None = None,
+    scratch: CrawlScratch | None = None,
 ) -> CrawlOutcome:
     """Breadth-first crawl of the mesh restricted to the query box.
 
@@ -67,6 +80,11 @@ def crawl(
         expanded), so callers may pass the raw surface-probe output.
     counters:
         Optional counter record updated in place.
+    scratch:
+        Reusable arena for the visited test and gather buffers.  When omitted
+        a throwaway arena is allocated, which restores the old
+        one-allocation-per-call behaviour; executors pass their own so
+        repeated queries allocate only O(frontier + result) memory.
     """
     adjacency = mesh.adjacency
     positions = mesh.vertices
@@ -76,26 +94,27 @@ def crawl(
     n_vertices_visited = 0
     n_edges_followed = 0
     if starts.size == 0:
-        outcome = CrawlOutcome(np.empty(0, dtype=np.int64), 0, 0)
-        return outcome
+        return CrawlOutcome(np.empty(0, dtype=np.int64), 0, 0)
 
-    visited = np.zeros(mesh.n_vertices, dtype=bool)
-    visited[starts] = True
+    if scratch is None:
+        scratch = CrawlScratch()
+    stamps, epoch = scratch.acquire(mesh.n_vertices)
+    stamps[starts] = epoch
     inside_mask = points_in_box(positions[starts], box)
     n_vertices_visited += int(starts.size)
     frontier = starts[inside_mask]
     collected = [frontier]
 
     while frontier.size:
-        neighbors = _gather_neighbors(indptr, indices, frontier)
+        neighbors = _gather_neighbors(indptr, indices, frontier, scratch)
         n_edges_followed += int(neighbors.size)
         if neighbors.size == 0:
             break
         candidates = np.unique(neighbors)
-        candidates = candidates[~visited[candidates]]
+        candidates = candidates[stamps[candidates] != epoch]
         if candidates.size == 0:
             break
-        visited[candidates] = True
+        stamps[candidates] = epoch
         n_vertices_visited += int(candidates.size)
         inside = points_in_box(positions[candidates], box)
         frontier = candidates[inside]

@@ -16,6 +16,7 @@ Figure 1(e):
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 from ..mesh import Box3D, PolyhedralMesh
 from .result import QueryResult
@@ -74,6 +75,18 @@ class ExecutionStrategy(ABC):
     @abstractmethod
     def query(self, box: Box3D) -> QueryResult:
         """Answer one 3D range query against the current vertex positions."""
+
+    def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
+        """Answer a batch of range queries against the current positions.
+
+        Returns one :class:`QueryResult` per box, in order, identical to
+        calling :meth:`query` sequentially.  The base implementation is that
+        sequential loop; strategies with a vectorisable scan phase override it
+        to amortise per-query NumPy dispatch across the whole batch (OCTOPUS
+        probes the surface against all boxes in one broadcasted pass, the
+        linear scan tests all boxes against all vertices at once).
+        """
+        return [self.query(box) for box in boxes]
 
     # ------------------------------------------------------------------
     # accounting

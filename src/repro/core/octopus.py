@@ -21,15 +21,24 @@ surface index (handled in :meth:`OctopusExecutor.on_step`).
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import QueryError
-from ..mesh import Box3D, PolyhedralMesh
+from ..mesh import (
+    Box3D,
+    PolyhedralMesh,
+    box_batch_chunk,
+    boxes_to_arrays,
+    points_boxes_distance_sq,
+    points_in_boxes,
+)
 from .crawler import crawl
 from .directed_walk import directed_walk
 from .executor import ExecutionStrategy
 from .result import QueryCounters, QueryResult
+from .scratch import CrawlScratch
 from .surface_index import SurfaceIndex
 
 __all__ = ["OctopusExecutor"]
@@ -59,6 +68,8 @@ class OctopusExecutor(ExecutionStrategy):
         self.seed = seed
         self._surface_index: SurfaceIndex | None = None
         self._probe_ids: np.ndarray | None = None
+        #: reusable per-executor crawl arena (epoch-stamped visited + buffers)
+        self.scratch = CrawlScratch()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -113,58 +124,112 @@ class OctopusExecutor(ExecutionStrategy):
     # query execution (Algorithm 1)
     # ------------------------------------------------------------------
     def query(self, box: Box3D) -> QueryResult:
-        mesh = self.mesh
         counters = QueryCounters()
-        total_start = time.perf_counter()
 
         # Phase 1: surface probe over the (possibly sampled) surface vertex set.
         probe_start = time.perf_counter()
-        probe_ids = self._probe_ids if self._probe_ids is not None else self.surface_index.surface_ids()
-        counters.surface_probed += int(probe_ids.size)
-        start_vertices: np.ndarray
-        closest_id: int | None = None
-        if probe_ids.size:
-            positions = mesh.vertices[probe_ids]
-            inside = np.all((positions >= box.lo) & (positions <= box.hi), axis=1)
-            start_vertices = probe_ids[inside]
-            if start_vertices.size == 0:
-                delta = np.maximum(box.lo - positions, 0.0) + np.maximum(positions - box.hi, 0.0)
-                distances = np.einsum("ij,ij->i", delta, delta)
-                closest_id = int(probe_ids[np.argmin(distances)])
-        else:
-            start_vertices = np.empty(0, dtype=np.int64)
+        probe = self.surface_index.probe(box, counters, ids=self._probe_ids)
         probe_time = time.perf_counter() - probe_start
 
-        # Phase 2: directed walk, only when the probe produced no start vertex.
+        # Phases 2 and 3: directed walk (only on a probe miss) and crawl.
+        return self._walk_and_crawl(box, probe.inside_ids, probe.closest_id, counters, probe_time)
+
+    def _walk_and_crawl(
+        self,
+        box: Box3D,
+        start_vertices: np.ndarray,
+        closest_id: int | None,
+        counters: QueryCounters,
+        probe_time: float,
+    ) -> QueryResult:
+        """Phases 2–3 of Algorithm 1, shared by the sequential and batched paths."""
+        mesh = self.mesh
         walk_time = 0.0
         if start_vertices.size == 0 and closest_id is not None:
             walk_start = time.perf_counter()
-            walk = directed_walk(mesh, box, closest_id, counters)
+            walk = directed_walk(mesh, box, closest_id, counters, scratch=self.scratch)
             walk_time = time.perf_counter() - walk_start
             if walk.found_id is not None:
                 start_vertices = np.asarray([walk.found_id], dtype=np.int64)
 
-        # Phase 3: crawling from all start vertices.
         crawl_start = time.perf_counter()
-        outcome = crawl(mesh, box, start_vertices, counters)
+        outcome = crawl(mesh, box, start_vertices, counters, scratch=self.scratch)
         crawl_time = time.perf_counter() - crawl_start
-
-        total_time = time.perf_counter() - total_start
         return QueryResult(
             vertex_ids=outcome.result_ids,
             counters=counters,
             probe_time=probe_time,
             walk_time=walk_time,
             crawl_time=crawl_time,
-            total_time=total_time,
+            total_time=probe_time + walk_time + crawl_time,
         )
+
+    def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
+        """Batched Algorithm 1: one broadcasted probe, then per-box walk/crawl.
+
+        The surface is tested against *all* query boxes in a single NumPy
+        pass (chunked to bound the broadcast), which amortises the probe's
+        dispatch overhead across the batch; the walk and crawl then run per
+        box against the shared scratch arena.  Results, counters and result
+        ids are identical to sequential :meth:`query` calls.
+        """
+        box_list = list(boxes)
+        if len(box_list) <= 1:
+            return [self.query(box) for box in box_list]
+        mesh = self.mesh
+        surface = self.surface_index  # raises before prepare()
+        probe_ids = self._probe_ids if self._probe_ids is not None else surface.surface_ids()
+        if surface.is_stale() or probe_ids.size == 0:
+            # Rare paths (stale-index error, surface-less mesh): keep the
+            # sequential code as the single source of truth.
+            return [self.query(box) for box in box_list]
+
+        probe_start = time.perf_counter()
+        los, his = boxes_to_arrays(box_list)
+        positions = mesh.vertices[probe_ids]
+        chunk = box_batch_chunk(probe_ids.size)
+        start_lists: list[np.ndarray] = []
+        closest_ids: list[int | None] = []
+        for lo_index in range(0, len(box_list), chunk):
+            hi_index = min(lo_index + chunk, len(box_list))
+            inside = points_in_boxes(positions, los[lo_index:hi_index], his[lo_index:hi_index])
+            hits = inside.any(axis=1)
+            misses = np.nonzero(~hits)[0]
+            closest_of_miss: dict[int, int] = {}
+            if misses.size:
+                distances = points_boxes_distance_sq(
+                    positions, los[lo_index + misses], his[lo_index + misses]
+                )
+                nearest = np.argmin(distances, axis=1)
+                closest_of_miss = {
+                    int(row): int(probe_ids[nearest[k]]) for k, row in enumerate(misses)
+                }
+            for row in range(hi_index - lo_index):
+                if hits[row]:
+                    start_lists.append(probe_ids[inside[row]])
+                    closest_ids.append(None)
+                else:
+                    start_lists.append(np.empty(0, dtype=np.int64))
+                    closest_ids.append(closest_of_miss[row])
+        # The probe cost is shared by the whole batch; apportion it evenly.
+        probe_time = (time.perf_counter() - probe_start) / len(box_list)
+
+        results: list[QueryResult] = []
+        for box, start_vertices, closest_id in zip(box_list, start_lists, closest_ids):
+            counters = QueryCounters()
+            counters.surface_probed += int(probe_ids.size)
+            if start_vertices.size == 0 and closest_id is not None:
+                # Mirrors probe(): the closest-vertex pass costs one distance
+                # evaluation per probed vertex.
+                counters.probe_distance_computations += int(probe_ids.size)
+            results.append(self._walk_and_crawl(box, start_vertices, closest_id, counters, probe_time))
+        return results
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def memory_overhead_bytes(self) -> int:
-        """Surface index plus the crawl's visited bitmap (per-query scratch)."""
+        """Surface index plus the reusable crawl scratch arena."""
         if self._surface_index is None:
             return 0
-        crawl_scratch = self.mesh.n_vertices  # one byte per vertex for the visited mask
-        return self._surface_index.memory_bytes() + crawl_scratch
+        return self._surface_index.memory_bytes() + self.scratch.expected_bytes(self.mesh.n_vertices)

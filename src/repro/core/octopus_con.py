@@ -14,6 +14,7 @@ starting point is safe; using a stale index to answer the query would not be.
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from .crawler import crawl
 from .directed_walk import directed_walk
 from .executor import ExecutionStrategy
 from .result import QueryCounters, QueryResult
+from .scratch import CrawlScratch
 from .uniform_grid import UniformGrid
 
 __all__ = ["OctopusConExecutor"]
@@ -52,6 +54,8 @@ class OctopusConExecutor(ExecutionStrategy):
             raise QueryError("grid_resolution must be at least 1")
         self.grid_resolution = grid_resolution
         self._grid: UniformGrid | None = None
+        #: reusable per-executor crawl arena (epoch-stamped visited + buffers)
+        self.scratch = CrawlScratch()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -74,43 +78,80 @@ class OctopusConExecutor(ExecutionStrategy):
     # query execution
     # ------------------------------------------------------------------
     def query(self, box: Box3D) -> QueryResult:
-        mesh = self.mesh
         counters = QueryCounters()
-        total_start = time.perf_counter()
 
         # Locate a starting vertex near the query centre using the stale grid.
         locate_start = time.perf_counter()
         start_id = self.grid.any_vertex_near(box.center, counters)
         locate_time = time.perf_counter() - locate_start
 
+        return self._walk_and_crawl(box, start_id, counters, locate_time)
+
+    def _walk_and_crawl(
+        self,
+        box: Box3D,
+        start_id: int | None,
+        counters: QueryCounters,
+        locate_time: float,
+    ) -> QueryResult:
+        """Walk-then-crawl tail shared by the sequential and batched paths."""
+        mesh = self.mesh
         walk_time = 0.0
         start_vertices = np.empty(0, dtype=np.int64)
         if start_id is not None:
             walk_start = time.perf_counter()
-            walk = directed_walk(mesh, box, start_id, counters)
+            walk = directed_walk(mesh, box, start_id, counters, scratch=self.scratch)
             walk_time = time.perf_counter() - walk_start
             if walk.found_id is not None:
                 start_vertices = np.asarray([walk.found_id], dtype=np.int64)
 
         crawl_start = time.perf_counter()
-        outcome = crawl(mesh, box, start_vertices, counters)
+        outcome = crawl(mesh, box, start_vertices, counters, scratch=self.scratch)
         crawl_time = time.perf_counter() - crawl_start
-
-        total_time = time.perf_counter() - total_start
         return QueryResult(
             vertex_ids=outcome.result_ids,
             counters=counters,
             probe_time=locate_time,   # grid lookup takes the place of the probe phase
             walk_time=walk_time,
             crawl_time=crawl_time,
-            total_time=total_time,
+            total_time=locate_time + walk_time + crawl_time,
         )
+
+    def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
+        """Batched execution: one vectorised grid lookup, then per-box walk/crawl.
+
+        All box centres are located in the stale grid in a single pass; only
+        the boxes whose centre cell is empty fall back to the sequential ring
+        search.  The walk and crawl reuse the shared scratch arena.  Results
+        and counters match sequential :meth:`query` calls exactly.
+        """
+        box_list = list(boxes)
+        if len(box_list) <= 1:
+            return [self.query(box) for box in box_list]
+        locate_start = time.perf_counter()
+        centers = np.stack([box.center for box in box_list])
+        first_hits = self.grid.locate_batch(centers)
+        shared_locate_time = (time.perf_counter() - locate_start) / len(box_list)
+
+        results: list[QueryResult] = []
+        for box, hit in zip(box_list, first_hits):
+            counters = QueryCounters()
+            locate_time = shared_locate_time
+            if hit >= 0:
+                counters.index_nodes_visited += 1  # the centre cell, as in ring 0
+                start_id: int | None = int(hit)
+            else:
+                ring_start = time.perf_counter()
+                start_id = self.grid.any_vertex_near(box.center, counters)
+                locate_time += time.perf_counter() - ring_start
+            results.append(self._walk_and_crawl(box, start_id, counters, locate_time))
+        return results
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def memory_overhead_bytes(self) -> int:
-        """Stale grid plus the crawl's visited bitmap."""
+        """Stale grid plus the reusable crawl scratch arena."""
         if self._grid is None:
             return 0
-        return self._grid.memory_bytes() + self.mesh.n_vertices
+        return self._grid.memory_bytes() + self.scratch.expected_bytes(self.mesh.n_vertices)

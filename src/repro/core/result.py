@@ -28,6 +28,12 @@ class QueryCounters:
     ----------
     surface_probed:
         Surface vertices tested during the surface probe (OCTOPUS).
+    probe_distance_computations:
+        Point-to-box distance evaluations performed by the surface probe to
+        find the closest outside vertex (only incurred when no surface vertex
+        lies inside the query).  These reuse positions already counted in
+        ``surface_probed``, so they are reported separately and excluded from
+        :meth:`total_vertex_accesses`.
     walk_vertices_visited:
         Vertices visited during the directed walk.
     walk_distance_computations:
@@ -46,6 +52,7 @@ class QueryCounters:
     """
 
     surface_probed: int = 0
+    probe_distance_computations: int = 0
     walk_vertices_visited: int = 0
     walk_distance_computations: int = 0
     crawl_vertices_visited: int = 0

@@ -1,0 +1,103 @@
+"""Reusable per-executor scratch memory for the query hot path.
+
+The crawl needs a "have I visited this vertex?" test over all mesh vertices.
+Allocating (and zeroing) a fresh boolean array per query re-introduces an
+O(n_vertices) term into every query — exactly the dataset-size dependence the
+crawl is designed to avoid (Section IV claims cost proportional to selectivity
+and mesh degree only).  :class:`CrawlScratch` removes it with the classic
+epoch-stamping trick: one persistent ``int32`` array holds, per vertex, the
+epoch of the last query that visited it.  A vertex is "visited" in the current
+query iff its stamp equals the current epoch, so starting a new query is a
+single integer increment — no clearing, no allocation.
+
+The arena also keeps a growable identity ramp (``0, 1, 2, ...``) that the
+CSR neighbour gather slices instead of re-materialising ``np.arange`` per
+frontier expansion.
+
+A scratch instance is owned by one executor and is **not** thread-safe; two
+concurrent queries must use two scratches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CrawlScratch"]
+
+#: stamp value reserved for "never visited" (fresh arenas are zero-filled)
+_NEVER = 0
+_EPOCH_LIMIT = np.iinfo(np.int32).max - 1
+
+
+class CrawlScratch:
+    """Epoch-stamped visited arena plus reusable gather buffers.
+
+    Usage::
+
+        stamps, epoch = scratch.acquire(mesh.n_vertices)
+        stamps[v] = epoch            # mark v visited
+        stamps[ids] == epoch         # visited test, vectorised
+
+    ``acquire`` starts a new query: it bumps the epoch (making every previous
+    stamp stale at zero cost) and grows the arena if the mesh gained vertices
+    since the last query (e.g. after a restructuring step).
+    """
+
+    __slots__ = ("_stamps", "_epoch", "_iota")
+
+    def __init__(self) -> None:
+        self._stamps = np.empty(0, dtype=np.int32)
+        self._epoch = _NEVER
+        self._iota = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # the visited arena
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Epoch of the most recent :meth:`acquire` (0 before any query)."""
+        return self._epoch
+
+    def acquire(self, n_vertices: int) -> tuple[np.ndarray, int]:
+        """Begin a new query; returns ``(stamps, epoch)`` covering ``n_vertices``.
+
+        The returned array may be larger than ``n_vertices`` (capacity is kept
+        across mesh shrinkage); only indices below ``n_vertices`` are
+        meaningful to the caller.
+        """
+        if self._stamps.size < n_vertices:
+            # Grow geometrically so repeated restructuring amortises; a grow
+            # resets all stamps, which the epoch rollover below accounts for.
+            capacity = max(n_vertices, 2 * self._stamps.size)
+            self._stamps = np.zeros(capacity, dtype=np.int32)
+            self._epoch = _NEVER
+        elif self._epoch >= _EPOCH_LIMIT:
+            # int32 epochs last ~2 billion queries; on rollover pay one clear.
+            self._stamps.fill(_NEVER)
+            self._epoch = _NEVER
+        self._epoch += 1
+        return self._stamps, self._epoch
+
+    # ------------------------------------------------------------------
+    # gather buffers
+    # ------------------------------------------------------------------
+    def iota(self, n: int) -> np.ndarray:
+        """A read-only view of ``[0, 1, ..., n-1]`` backed by a reused buffer."""
+        if self._iota.size < n:
+            self._iota = np.arange(max(n, 2 * self._iota.size, 1024), dtype=np.int64)
+        return self._iota[:n]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Current footprint of the arena and buffers."""
+        return int(self._stamps.nbytes + self._iota.nbytes)
+
+    def expected_bytes(self, n_vertices: int) -> int:
+        """Footprint after serving a query on an ``n_vertices`` mesh.
+
+        Used by ``memory_overhead_bytes()`` so executors report the scratch
+        cost even before the first query allocates it.
+        """
+        return max(self.memory_bytes(), 4 * int(n_vertices))

@@ -90,7 +90,9 @@ class SurfaceIndex:
     def surface_ids(self) -> np.ndarray:
         """The surface vertex ids as a sorted NumPy array (cached)."""
         if self._ids_cache is None:
-            self._ids_cache = np.asarray(sorted(self._table), dtype=np.int64)
+            ids = np.fromiter(self._table.keys(), dtype=np.int64, count=len(self._table))
+            ids.sort()
+            self._ids_cache = ids
         return self._ids_cache
 
     def memory_bytes(self) -> int:
@@ -130,10 +132,12 @@ class SurfaceIndex:
         recomputed surface and applies the minimal set of inserts and deletes
         (the paper's hash-table maintenance).  Returns ``(inserted, removed)``.
         """
-        current = set(self._table)
-        fresh = set(int(v) for v in self._mesh.surface_vertices())
-        inserted = self.insert(fresh - current)
-        removed = self.remove(current - fresh)
+        current = self.surface_ids()
+        fresh = np.unique(np.asarray(self._mesh.surface_vertices(), dtype=np.int64))
+        inserted = self.insert(np.setdiff1d(fresh, current, assume_unique=True))
+        removed = self.remove(np.setdiff1d(current, fresh, assume_unique=True))
+        # Both diffs were applied, so the fresh surface *is* the new id set.
+        self._ids_cache = fresh
         self._connectivity_version = self._mesh.connectivity_version
         return inserted, removed
 
@@ -144,18 +148,35 @@ class SurfaceIndex:
     # ------------------------------------------------------------------
     # the surface probe (Section IV-C)
     # ------------------------------------------------------------------
-    def probe(self, box: Box3D, counters: QueryCounters | None = None) -> SurfaceProbeOutcome:
-        """Scan all surface vertices and split them into inside / closest-outside.
+    def probe(
+        self,
+        box: Box3D,
+        counters: QueryCounters | None = None,
+        ids: np.ndarray | None = None,
+    ) -> SurfaceProbeOutcome:
+        """Scan the surface vertices and split them into inside / closest-outside.
 
         The probe always reads the *current* vertex positions from the mesh,
         so it is correct regardless of how far vertices moved since the index
         was built.
+
+        Parameters
+        ----------
+        box:
+            The query box.
+        counters:
+            Optional counter record updated in place.
+        ids:
+            Optional subset of surface vertex ids to probe instead of the full
+            surface (used by the approximate executor, which probes a fixed
+            random sample).  Defaults to :meth:`surface_ids`.
         """
         if self.is_stale():
             raise IndexError_(
                 "surface index is stale: the mesh was restructured; call refresh_from_mesh()"
             )
-        ids = self.surface_ids()
+        if ids is None:
+            ids = self.surface_ids()
         n_probed = int(ids.size)
         if counters is not None:
             counters.surface_probed += n_probed
@@ -168,7 +189,7 @@ class SurfaceIndex:
             return SurfaceProbeOutcome(inside_ids, None, 0.0, n_probed)
         distances = points_box_distance(positions, box)
         if counters is not None:
-            counters.walk_distance_computations += 0  # distances are part of the probe pass
+            counters.probe_distance_computations += n_probed
         closest_pos = int(np.argmin(distances))
         return SurfaceProbeOutcome(
             np.empty(0, dtype=np.int64),

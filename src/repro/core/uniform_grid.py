@@ -131,6 +131,24 @@ class UniformGrid:
                 return int(self._cell_members[self._cell_offsets[non_empty[0]]])
         return None
 
+    def locate_batch(self, points: np.ndarray) -> np.ndarray:
+        """For each point, a vertex id from its containing cell, or -1 if empty.
+
+        Vectorised fast path of :meth:`any_vertex_near` (the ring-0 case) used
+        by the batched query API; callers fall back to the ring search for the
+        points whose cell came back empty.  Matches ``any_vertex_near``'s
+        choice — the first id stored in the cell — exactly.
+        """
+        self._require_built()
+        pts = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        flat = self._cell_of(pts)
+        starts = self._cell_offsets[flat]
+        counts = self._cell_offsets[flat + 1] - starts
+        if self._cell_members.size == 0:
+            return np.full(pts.shape[0], -1, dtype=np.int64)
+        first = self._cell_members[np.minimum(starts, self._cell_members.size - 1)]
+        return np.where(counts > 0, first, -1)
+
     def query_candidates(self, box: Box3D, counters: QueryCounters | None = None) -> np.ndarray:
         """Vertex ids stored in every cell overlapping ``box`` (unfiltered)."""
         self._require_built()

@@ -99,14 +99,21 @@ def run_comparison(
     n_steps: int,
     query_provider,
     validate_results: bool = False,
+    batch_queries: bool | None = None,
 ) -> SimulationReport:
-    """Run one simulation comparing the given strategies on identical queries."""
+    """Run one simulation comparing the given strategies on identical queries.
+
+    ``batch_queries`` is forwarded to :class:`MeshSimulation`: ``None`` (the
+    default) issues each step's boxes through the batched ``query_many`` path
+    unless ``REPRO_SEQUENTIAL_QUERIES`` is set in the environment.
+    """
     simulation = MeshSimulation(
         mesh=mesh,
         deformation=deformation,
         strategies=strategies,
         query_provider=query_provider,
         validate_results=validate_results,
+        batch_queries=batch_queries,
     )
     return simulation.run(n_steps)
 

@@ -6,10 +6,14 @@ from .convexity import convexity_defect, is_convex_point_set, mesh_is_convex
 from .geometry import (
     Box3D,
     bounding_box,
+    box_batch_chunk,
     boxes_overlap_volume,
+    boxes_to_arrays,
     point_box_distance,
     points_box_distance,
+    points_boxes_distance_sq,
     points_in_box,
+    points_in_boxes,
 )
 from .hexahedral import HexahedralMesh
 from .hilbert import hilbert_distances, hilbert_sort_order
@@ -35,7 +39,9 @@ __all__ = [
     "TetrahedralMesh",
     "TriangleMesh",
     "bounding_box",
+    "box_batch_chunk",
     "boxes_overlap_volume",
+    "boxes_to_arrays",
     "cell_faces",
     "convexity_defect",
     "density_statistics",
@@ -51,7 +57,9 @@ __all__ = [
     "mesh_is_convex",
     "point_box_distance",
     "points_box_distance",
+    "points_boxes_distance_sq",
     "points_in_box",
+    "points_in_boxes",
     "quality_statistics",
     "random_layout",
     "save_mesh",

@@ -176,12 +176,17 @@ class AdjacencyList:
         old_of_new[new_ids] = np.arange(self.n_vertices)
         counts = np.diff(self.indptr)[old_of_new]
         indptr = np.concatenate([[0], np.cumsum(counts)])
-        indices = np.empty_like(self.indices)
-        for new_v in range(self.n_vertices):
-            old_v = old_of_new[new_v]
-            nbrs = new_ids[self.neighbors(old_v)]
-            indices[indptr[new_v]:indptr[new_v + 1]] = np.sort(nbrs)
-        return AdjacencyList(indptr, indices)
+        # Pure CSR permutation, no per-vertex loop: build flat gather offsets
+        # into the old indices array (row start of each new row repeated over
+        # its degree, plus a within-row ramp), then rename the endpoints.
+        total = int(indptr[-1])
+        row_of_entry = np.repeat(np.arange(self.n_vertices), counts)
+        within_row = np.arange(total) - np.repeat(indptr[:-1], counts)
+        flat_src = self.indptr[old_of_new][row_of_entry] + within_row
+        indices = new_ids[self.indices[flat_src]]
+        # Sort neighbours within each row in one pass by keying on the row.
+        order = np.argsort(row_of_entry * np.int64(self.n_vertices) + indices, kind="stable")
+        return AdjacencyList(indptr, indices[order])
 
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the CSR arrays in bytes."""

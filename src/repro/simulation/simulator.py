@@ -12,6 +12,7 @@ reported separately — is what :class:`SimulationReport` accumulates.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -113,6 +114,13 @@ class MeshSimulation:
         When True, every strategy's result is checked against the first
         strategy's result for equality (used in tests; adds linear-scan-like
         overhead so benchmarks keep it off).
+    batch_queries:
+        When True, each step's boxes are issued through
+        :meth:`ExecutionStrategy.query_many` so strategies with a batched
+        implementation amortise per-query dispatch; when False every box goes
+        through a separate :meth:`ExecutionStrategy.query` call.  ``None``
+        (the default) batches unless the ``REPRO_SEQUENTIAL_QUERIES``
+        environment variable is set (the CLI's ``--no-batch`` escape hatch).
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class MeshSimulation:
         strategies: Sequence[ExecutionStrategy],
         query_provider: QueryProvider,
         validate_results: bool = False,
+        batch_queries: bool | None = None,
     ) -> None:
         if not strategies:
             raise SimulationError("need at least one execution strategy")
@@ -133,6 +142,10 @@ class MeshSimulation:
         self.strategies = list(strategies)
         self.query_provider = query_provider
         self.validate_results = validate_results
+        if batch_queries is None:
+            flag = os.environ.get("REPRO_SEQUENTIAL_QUERIES", "")
+            batch_queries = flag.strip().lower() in ("", "0", "false")
+        self.batch_queries = batch_queries
 
         self.deformation.bind(mesh)
         self._reports: dict[str, StrategyReport] = {}
@@ -169,10 +182,17 @@ class MeshSimulation:
             query_time = 0.0
             n_results = 0
             result_ids: list[np.ndarray] = []
-            for box in boxes:
+            if self.batch_queries:
                 start = time.perf_counter()
-                result = strategy.query(box)
-                query_time += time.perf_counter() - start
+                results = strategy.query_many(boxes)
+                query_time = time.perf_counter() - start
+            else:
+                results = []
+                for box in boxes:
+                    start = time.perf_counter()
+                    results.append(strategy.query(box))
+                    query_time += time.perf_counter() - start
+            for result in results:
                 step_counters += result.counters
                 n_results += result.n_results
                 report.total_probe_time += result.probe_time

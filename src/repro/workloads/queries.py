@@ -19,7 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import WorkloadError
-from ..mesh import Box3D, PolyhedralMesh, points_in_box
+from ..mesh import Box3D, PolyhedralMesh, boxes_to_arrays, points_in_box
 
 __all__ = ["QueryWorkload", "box_for_selectivity", "random_query_workload", "measure_selectivity"]
 
@@ -45,6 +45,14 @@ class QueryWorkload:
         if not self.measured_selectivities:
             return 0.0
         return float(np.mean(self.measured_selectivities))
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The workload's boxes as stacked ``(n, 3)`` lo and hi corner arrays.
+
+        This is the form the batched ``query_many`` probes broadcast against
+        the surface / vertex positions in a single pass.
+        """
+        return boxes_to_arrays(self.boxes)
 
 
 def measure_selectivity(mesh: PolyhedralMesh, box: Box3D) -> float:
