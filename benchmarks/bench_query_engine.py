@@ -7,7 +7,11 @@ random mesh vertices, microbenchmark-B selectivity):
   the equivalent sequential ``query(box)`` loop (same executor, same boxes);
 * **scratch vs. naive crawl** — crawls reusing one :class:`CrawlScratch`
   arena against crawls paying a fresh O(n_vertices) visited allocation per
-  query.
+  query;
+* **fused vs. sequential crawl** — one shared-frontier ``crawl_many`` over an
+  overlapping-box batch against the equivalent per-box ``crawl`` loop (both
+  sides reusing a scratch arena), plus the fused work reduction (unique vs.
+  attributed vertex visits).
 
 Writes a perf record to ``BENCH_query_engine.json`` at the repository root so
 future PRs can track the trajectory, and prints the same numbers.  Run it
@@ -33,9 +37,9 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.core import CrawlScratch, OctopusExecutor, crawl  # noqa: E402
+from repro.core import CrawlScratch, OctopusExecutor, crawl, crawl_many  # noqa: E402
 from repro.experiments.datasets import neuron_largest  # noqa: E402
-from repro.mesh import points_in_box  # noqa: E402
+from repro.mesh import Box3D, points_in_box  # noqa: E402
 from repro.workloads import random_query_workload  # noqa: E402
 
 RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_query_engine.json"
@@ -44,6 +48,8 @@ RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_query_engine.json"
 POINT_QUERY_SELECTIVITY = 0.0008
 N_QUERIES = 64
 N_ROUNDS = 5
+#: overlapping-box batch for the fused multi-query crawl scenario
+N_OVERLAPPING_QUERIES = 32
 
 
 def _timed(fn) -> float:
@@ -110,6 +116,55 @@ def bench_scratch_vs_naive_crawl(mesh, boxes) -> dict:
     }
 
 
+def bench_fused_vs_sequential_crawl(mesh) -> dict:
+    """Fused multi-query crawl on an overlapping-box batch vs. per-box crawls."""
+    rng = np.random.default_rng(7)
+    diagonal = float(np.linalg.norm(mesh.bounding_box().extents))
+    center = mesh.vertices[mesh.n_vertices // 2]
+    boxes = [
+        Box3D.cube(center + rng.normal(0.0, 0.01 * diagonal, 3), 0.25 * diagonal)
+        for _ in range(N_OVERLAPPING_QUERIES)
+    ]
+    start_sets = []
+    for box in boxes:
+        inside = np.nonzero(points_in_box(mesh.vertices, box))[0]
+        start_sets.append(inside[:1])
+
+    sequential_scratch = CrawlScratch()
+
+    def sequential():
+        for box, starts in zip(boxes, start_sets):
+            crawl(mesh, box, starts, scratch=sequential_scratch)
+
+    fused_scratch = CrawlScratch()
+
+    def fused():
+        crawl_many(mesh, boxes, start_sets, scratch=fused_scratch)
+
+    sequential_time, fused_time = _best_of_interleaved(N_ROUNDS, sequential, fused)
+
+    batch = crawl_many(mesh, boxes, start_sets, scratch=fused_scratch)
+    independent = [
+        crawl(mesh, box, starts, scratch=sequential_scratch)
+        for box, starts in zip(boxes, start_sets)
+    ]
+    assert all(
+        np.array_equal(a.result_ids, b.result_ids)
+        for a, b in zip(batch.outcomes, independent)
+    )
+
+    return {
+        "n_queries": len(boxes),
+        "sequential_s": sequential_time,
+        "fused_s": fused_time,
+        "speedup": sequential_time / max(fused_time, 1e-12),
+        "attributed_vertex_visits": batch.n_attributed_vertex_visits,
+        "unique_vertex_visits": batch.n_unique_vertices_visited,
+        "work_sharing_factor": batch.n_attributed_vertex_visits
+        / max(batch.n_unique_vertices_visited, 1),
+    }
+
+
 def run(profile: str | None = None) -> dict:
     profile = profile or os.environ.get("REPRO_BENCH_PROFILE", "small")
     mesh = neuron_largest(profile)
@@ -129,6 +184,7 @@ def run(profile: str | None = None) -> dict:
         "numpy": np.__version__,
         "batched_vs_sequential": bench_batched_vs_sequential(mesh, workload.boxes),
         "scratch_vs_naive_crawl": bench_scratch_vs_naive_crawl(mesh, workload.boxes),
+        "fused_vs_sequential_crawl": bench_fused_vs_sequential_crawl(mesh),
     }
     return record
 
@@ -138,6 +194,7 @@ def main() -> int:
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
     batched = record["batched_vs_sequential"]
     scratch = record["scratch_vs_naive_crawl"]
+    fused = record["fused_vs_sequential_crawl"]
     print(f"profile={record['profile']}  mesh_vertices={record['mesh_vertices']}")
     print(
         f"batched vs sequential: {batched['sequential_s'] * 1e3:.2f} ms -> "
@@ -146,6 +203,11 @@ def main() -> int:
     print(
         f"scratch vs naive crawl: {scratch['naive_s'] * 1e3:.2f} ms -> "
         f"{scratch['scratch_s'] * 1e3:.2f} ms  ({scratch['speedup']:.2f}x)"
+    )
+    print(
+        f"fused vs sequential crawl: {fused['sequential_s'] * 1e3:.2f} ms -> "
+        f"{fused['fused_s'] * 1e3:.2f} ms  ({fused['speedup']:.2f}x, "
+        f"work sharing {fused['work_sharing_factor']:.1f}x)"
     )
     print(f"record written to {RECORD_PATH}")
     return 0
@@ -157,6 +219,7 @@ def test_query_engine_benchmark(profile, record_rows):
     RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
     batched = record["batched_vs_sequential"]
     scratch = record["scratch_vs_naive_crawl"]
+    fused = record["fused_vs_sequential_crawl"]
     rows = [
         {
             "comparison": "batched vs sequential",
@@ -169,6 +232,12 @@ def test_query_engine_benchmark(profile, record_rows):
             "baseline_s": scratch["naive_s"],
             "optimized_s": scratch["scratch_s"],
             "speedup": scratch["speedup"],
+        },
+        {
+            "comparison": "fused vs sequential crawl",
+            "baseline_s": fused["sequential_s"],
+            "optimized_s": fused["fused_s"],
+            "speedup": fused["speedup"],
         },
     ]
     record_rows("bench_query_engine", rows, "Query engine microbenchmark")

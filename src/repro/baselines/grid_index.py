@@ -10,6 +10,7 @@ uses it to pick a crawl starting vertex.
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
@@ -52,6 +53,19 @@ class ThrowawayGridExecutor(ExecutionStrategy):
         elapsed = time.perf_counter() - start
         return QueryResult(
             vertex_ids=ids, counters=counters, index_time=elapsed, total_time=elapsed
+        )
+
+    def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
+        """Batched queries sharing one candidate gather across all boxes.
+
+        Results and counters are identical to sequential :meth:`query` calls;
+        the shared gather's wall-clock is apportioned evenly.
+        """
+        return self._shared_index_batch(
+            boxes,
+            lambda box_list, counters: self.grid.query_many(
+                box_list, self.mesh.vertices, counters
+            ),
         )
 
     def memory_overhead_bytes(self) -> int:

@@ -11,13 +11,14 @@ a 10,000-vertex bucket; the default here is scaled down with the datasets).
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..errors import IndexError_
-from ..mesh import Box3D, points_in_box
+from ..mesh import Box3D, boxes_to_arrays, points_in_box, points_in_boxes
 
 __all__ = ["Octree", "ThrowawayOctreeExecutor"]
 
@@ -112,6 +113,60 @@ class Octree:
             counters.vertices_scanned += scanned
         return np.sort(np.concatenate(found)) if found else np.empty(0, dtype=np.int64)
 
+    def query_many(
+        self,
+        boxes: Sequence[Box3D],
+        positions: np.ndarray,
+        counters_list: Sequence[QueryCounters | None] | None = None,
+    ) -> list[np.ndarray]:
+        """Batch of range queries via one shared traversal (see ``RTree.query_many``).
+
+        Nodes carry the set of still-active queries, node extents are tested
+        against all active boxes in one pass, and each bucket's positions are
+        gathered once and broadcast-tested against every intersecting box.
+        Results and per-query counters match sequential :meth:`query` exactly.
+        """
+        box_list = list(boxes)
+        if not box_list:
+            return []
+        if self.root is None:
+            raise IndexError_("octree has not been built")
+        pts = np.asarray(positions)
+        los, his = boxes_to_arrays(box_list)
+        n_queries = len(box_list)
+        nodes_visited = np.zeros(n_queries, dtype=np.int64)
+        scanned = np.zeros(n_queries, dtype=np.int64)
+        found: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
+
+        stack: list[tuple[_OctreeNode, np.ndarray]] = [(self.root, np.arange(n_queries))]
+        while stack:
+            node, active = stack.pop()
+            nodes_visited[active] += 1
+            hit = np.all((node.lo <= his[active]) & (los[active] <= node.hi), axis=1)
+            live = active[hit]
+            if live.size == 0:
+                continue
+            if node.entry_ids is not None:
+                scanned[live] += node.entry_ids.size
+                inside = points_in_boxes(pts[node.entry_ids], los[live], his[live])
+                for row, query_index in enumerate(live):
+                    mask = inside[row]
+                    if mask.any():
+                        found[query_index].append(node.entry_ids[mask])
+            else:
+                for child in node.children:
+                    stack.append((child, live))
+
+        if counters_list is not None:
+            for query_index, counters in enumerate(counters_list):
+                if counters is not None:
+                    counters.index_nodes_visited += int(nodes_visited[query_index])
+                    counters.vertices_scanned += int(scanned[query_index])
+        return [
+            np.sort(np.concatenate(pieces)) if pieces else np.empty(0, dtype=np.int64)
+            for pieces in found
+        ]
+
     def memory_bytes(self) -> int:
         if self.root is None:
             return 0
@@ -160,6 +215,19 @@ class ThrowawayOctreeExecutor(ExecutionStrategy):
         elapsed = time.perf_counter() - start
         return QueryResult(
             vertex_ids=ids, counters=counters, index_time=elapsed, total_time=elapsed
+        )
+
+    def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
+        """Batched queries through one shared octree traversal.
+
+        Results and counters are identical to sequential :meth:`query` calls;
+        the shared traversal's wall-clock is apportioned evenly.
+        """
+        return self._shared_index_batch(
+            boxes,
+            lambda box_list, counters: self.octree.query_many(
+                box_list, self.mesh.vertices, counters
+            ),
         )
 
     def memory_overhead_bytes(self) -> int:

@@ -15,13 +15,13 @@ entry-to-leaf assignments and the node MBRs.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..core.result import QueryCounters
 from ..errors import IndexError_
-from ..mesh import Box3D, points_in_box
+from ..mesh import Box3D, boxes_to_arrays, points_in_box, points_in_boxes
 
 __all__ = ["RTree", "RTreeNode"]
 
@@ -348,6 +348,69 @@ class RTree:
             counters.index_nodes_visited += nodes_visited
             counters.vertices_scanned += scanned
         return np.sort(np.concatenate(found)) if found else np.empty(0, dtype=np.int64)
+
+    def query_many(
+        self,
+        boxes: Sequence[Box3D],
+        positions: np.ndarray | None = None,
+        counters_list: Sequence[QueryCounters | None] | None = None,
+        mbr_expansion: float = 0.0,
+    ) -> list[np.ndarray]:
+        """Answer a batch of range queries with one shared tree traversal.
+
+        The tree is walked once per batch: every node carries the set of
+        queries still *active* at it (the queries whose traversal would have
+        reached it), node MBRs are tested against all active boxes in one
+        vectorised pass, and each leaf's entry positions are gathered once and
+        tested against every intersecting box with a single broadcast.
+        Results and per-query counters are bit-identical to calling
+        :meth:`query` once per box.
+        """
+        box_list = list(boxes)
+        if not box_list:
+            return []
+        root = self._require_built()
+        pts = np.asarray(positions if positions is not None else self._positions)
+        los, his = boxes_to_arrays(box_list)
+        n_queries = len(box_list)
+        nodes_visited = np.zeros(n_queries, dtype=np.int64)
+        scanned = np.zeros(n_queries, dtype=np.int64)
+        found: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
+
+        stack: list[tuple[RTreeNode, np.ndarray]] = [(root, np.arange(n_queries))]
+        while stack:
+            node, active = stack.pop()
+            nodes_visited[active] += 1
+            if not np.all(np.isfinite(node.lo)):
+                continue
+            node_lo = node.lo - mbr_expansion
+            node_hi = node.hi + mbr_expansion
+            hit = np.all((node_lo <= his[active]) & (los[active] <= node_hi), axis=1)
+            live = active[hit]
+            if live.size == 0:
+                continue
+            if node.is_leaf:
+                if node.entries:
+                    ids = np.asarray(node.entries, dtype=np.int64)
+                    scanned[live] += ids.size
+                    inside = points_in_boxes(pts[ids], los[live], his[live])
+                    for row, query_index in enumerate(live):
+                        mask = inside[row]
+                        if mask.any():
+                            found[query_index].append(ids[mask])
+            else:
+                for child in node.children:
+                    stack.append((child, live))
+
+        if counters_list is not None:
+            for query_index, counters in enumerate(counters_list):
+                if counters is not None:
+                    counters.index_nodes_visited += int(nodes_visited[query_index])
+                    counters.vertices_scanned += int(scanned[query_index])
+        return [
+            np.sort(np.concatenate(pieces)) if pieces else np.empty(0, dtype=np.int64)
+            for pieces in found
+        ]
 
     # ------------------------------------------------------------------
     # accounting

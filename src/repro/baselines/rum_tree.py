@@ -17,6 +17,7 @@ executor performs the garbage-collection rebuild.
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
 import numpy as np
 
@@ -136,16 +137,32 @@ class RUMTreeExecutor(ExecutionStrategy):
         counters = QueryCounters()
         start = time.perf_counter()
         keys = self.tree.query(box, self._stored_positions, counters)
-        if keys.size:
-            # Keep only the entries the memo still considers current.
-            vertices = self._entry_vertex[keys]
-            live = self._memo[vertices] == keys
-            vertex_ids = np.unique(vertices[live])
-        else:
-            vertex_ids = keys
+        vertex_ids = self._filter_obsolete(keys)
         elapsed = time.perf_counter() - start
         return QueryResult(
             vertex_ids=vertex_ids, counters=counters, index_time=elapsed, total_time=elapsed
+        )
+
+    def _filter_obsolete(self, keys: np.ndarray) -> np.ndarray:
+        """Entry keys -> vertex ids, keeping only the memo's current entries."""
+        if not keys.size:
+            return keys
+        vertices = self._entry_vertex[keys]
+        live = self._memo[vertices] == keys
+        return np.unique(vertices[live])
+
+    def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
+        """Batched queries: one shared R-tree traversal plus per-box memo filters.
+
+        Results and counters are identical to sequential :meth:`query` calls;
+        the shared traversal's wall-clock is apportioned evenly.
+        """
+        return self._shared_index_batch(
+            boxes,
+            lambda box_list, counters: [
+                self._filter_obsolete(keys)
+                for keys in self.tree.query_many(box_list, self._stored_positions, counters)
+            ],
         )
 
     # ------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 from .approximation import ApproximationPoint, evaluate_surface_approximation
 from .cost_model import CostModel, calibrate_cost_model
-from .crawler import CrawlOutcome, crawl
+from .crawler import BatchCrawlOutcome, CrawlOutcome, crawl, crawl_many
 from .directed_walk import WalkOutcome, directed_walk
 from .executor import ExecutionStrategy
 from .octopus import OctopusExecutor
@@ -14,6 +14,7 @@ from .uniform_grid import UniformGrid
 
 __all__ = [
     "ApproximationPoint",
+    "BatchCrawlOutcome",
     "CostModel",
     "CrawlOutcome",
     "CrawlScratch",
@@ -28,6 +29,7 @@ __all__ = [
     "WalkOutcome",
     "calibrate_cost_model",
     "crawl",
+    "crawl_many",
     "directed_walk",
     "evaluate_surface_approximation",
 ]

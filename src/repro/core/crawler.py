@@ -17,17 +17,43 @@ Per-query memory is O(frontier + result) when the caller supplies a
 :class:`~repro.core.scratch.CrawlScratch`: the visited test uses the scratch's
 epoch-stamped arena instead of a fresh O(n_vertices) bitmap, so repeated
 queries on a prepared executor never pay a dataset-size allocation.
+
+:func:`crawl_many` fuses a whole *batch* of crawls into one shared-frontier
+BFS: queries are processed in groups of up to 64, each vertex carries a
+``uint64`` ownership bitset (bit ``q`` = "in query ``q``'s BFS"), and every
+level expands the *union* frontier with a single CSR gather, a single
+deduplication, and a single broadcasted position test.  Overlapping boxes
+therefore share the work of walking the same mesh region, while the ownership
+bitmask keeps per-query counters exactly attributable: each query's reported
+vertex visits and edge follows are bit-identical to what an independent
+:func:`crawl` would have counted, and they sum to the batch's attributed work
+(each fused operation counted once per owning query).  The *unique* fused work
+— the operations the machine actually performed — is reported separately and
+is never larger than the attributed total.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from ..mesh import Box3D, PolyhedralMesh, points_in_box
+from ..mesh import (
+    Box3D,
+    PolyhedralMesh,
+    box_batch_chunk,
+    boxes_to_arrays,
+    csr_gather,
+    points_in_box,
+    points_in_boxes,
+)
 from .result import QueryCounters
 from .scratch import CrawlScratch
 
-__all__ = ["crawl", "CrawlOutcome"]
+__all__ = ["crawl", "crawl_many", "CrawlOutcome", "BatchCrawlOutcome"]
+
+#: queries fused per shared-frontier group (one uint64 ownership word)
+GROUP_SIZE = 64
 
 
 class CrawlOutcome:
@@ -46,17 +72,18 @@ def _gather_neighbors(
     indices: np.ndarray,
     frontier: np.ndarray,
     scratch: CrawlScratch | None = None,
-) -> np.ndarray:
-    """All neighbour ids of the frontier vertices (with duplicates)."""
-    starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    ramp = scratch.iota(total) if scratch is not None else np.arange(total, dtype=np.int64)
-    owner = np.repeat(np.arange(frontier.size), counts)
-    offsets = ramp - np.repeat(np.cumsum(counts) - counts, counts)
-    return indices[starts[owner] + offsets]
+    return_counts: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """All neighbour ids of the frontier vertices (with duplicates).
+
+    With ``return_counts`` the per-frontier-vertex neighbour counts (vertex
+    degrees) are returned alongside, in frontier order — the fused crawl uses
+    them to attribute the shared gather to the owning queries.
+    """
+    neighbors, counts = csr_gather(
+        indptr, indices, frontier, ramp=scratch.iota if scratch is not None else None
+    )
+    return (neighbors, counts) if return_counts else neighbors
 
 
 def crawl(
@@ -126,3 +153,258 @@ def crawl(
         counters.crawl_vertices_visited += n_vertices_visited
         counters.crawl_edges_followed += n_edges_followed
     return CrawlOutcome(result_ids, n_vertices_visited, n_edges_followed)
+
+
+class BatchCrawlOutcome:
+    """Per-query outcomes of a fused crawl plus the batch's work accounting.
+
+    Attributes
+    ----------
+    outcomes:
+        One :class:`CrawlOutcome` per query, in order, bit-identical (result
+        ids and counters) to independent :func:`crawl` calls.
+    n_unique_vertices_visited / n_unique_edges_followed:
+        The work the fused BFS actually performed: vertices stamped and edges
+        gathered over *union* frontiers, each counted once no matter how many
+        queries share it.  Never larger than the attributed totals; strictly
+        smaller whenever overlapping queries visit the same region at the same
+        BFS level.
+    n_attributed_vertex_visits / n_attributed_edge_follows:
+        The same work counted once per *owning query* — exactly the sum of the
+        per-query counters, which is also what the sequential crawls would
+        have performed in total.
+    n_groups:
+        Number of ≤64-query fusion groups the batch was split into.
+    """
+
+    __slots__ = (
+        "outcomes",
+        "n_unique_vertices_visited",
+        "n_unique_edges_followed",
+        "n_attributed_vertex_visits",
+        "n_attributed_edge_follows",
+        "n_groups",
+    )
+
+    def __init__(self) -> None:
+        self.outcomes: list[CrawlOutcome] = []
+        self.n_unique_vertices_visited = 0
+        self.n_unique_edges_followed = 0
+        self.n_attributed_vertex_visits = 0
+        self.n_attributed_edge_follows = 0
+        self.n_groups = 0
+
+
+def _or_duplicates(ids: np.ndarray, bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Deduplicate ``ids``, OR-combining the ownership ``bits`` of duplicates.
+
+    Returns sorted unique ids and, per unique id, the union of the bitsets of
+    all its occurrences.
+    """
+    order = np.argsort(ids)
+    sorted_ids = ids[order]
+    sorted_bits = bits[order]
+    boundaries = np.empty(sorted_ids.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=boundaries[1:])
+    starts = np.nonzero(boundaries)[0]
+    return sorted_ids[starts], np.bitwise_or.reduceat(sorted_bits, starts)
+
+
+def _inside_per_query(
+    positions: np.ndarray, candidates: np.ndarray, los: np.ndarray, his: np.ndarray
+) -> np.ndarray:
+    """``(n_queries, n_candidates)`` membership of candidate positions in each box."""
+    points = positions[candidates]
+    out = np.empty((los.shape[0], candidates.size), dtype=bool)
+    chunk = box_batch_chunk(candidates.size)
+    for lo_index in range(0, los.shape[0], chunk):
+        hi_index = lo_index + chunk
+        out[lo_index:hi_index] = points_in_boxes(points, los[lo_index:hi_index], his[lo_index:hi_index])
+    return out
+
+
+def _crawl_group(
+    positions: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    los: np.ndarray,
+    his: np.ndarray,
+    start_lists: Sequence[np.ndarray],
+    scratch: CrawlScratch,
+    n_vertices: int,
+) -> tuple[list[CrawlOutcome], int, int]:
+    """Fused shared-frontier BFS for one group of at most 64 queries.
+
+    Returns the per-query outcomes plus the group's unique (fused) vertex and
+    edge work.  The BFS is level-synchronised: level ``k`` of every query runs
+    in the same iteration, so each query's stamp/visit/expand sequence is
+    exactly the one its independent crawl would have executed.
+    """
+    n_queries = len(start_lists)
+    bit_of = np.left_shift(np.uint64(1), np.arange(n_queries, dtype=np.uint64))
+    zero = np.uint64(0)
+    stamps, words, epoch = scratch.acquire_batch(n_vertices)
+
+    visited_per_query = np.zeros(n_queries, dtype=np.int64)
+    edges_per_query = np.zeros(n_queries, dtype=np.int64)
+    unique_visited = 0
+    unique_edges = 0
+    level_ids: list[np.ndarray] = []
+    level_bits: list[np.ndarray] = []
+
+    def stamp_and_test(candidates: np.ndarray, reach_bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stamp newly reached (vertex, query) pairs, count them, test positions.
+
+        Returns the next union frontier (vertices inside at least one owning
+        box) and its ownership bits.
+        """
+        nonlocal unique_visited, visited_per_query
+        previous = np.where(stamps[candidates] == epoch, words[candidates], zero)
+        new_bits = reach_bits & ~previous
+        fresh = new_bits != zero
+        candidates = candidates[fresh]
+        if candidates.size == 0:
+            return candidates, new_bits[fresh]
+        new_bits = new_bits[fresh]
+        words[candidates] = previous[fresh] | new_bits
+        stamps[candidates] = epoch
+        unique_visited += int(candidates.size)
+        owned = (new_bits[:, None] & bit_of[None, :]) != zero
+        visited_per_query += owned.sum(axis=0)
+        inside = _inside_per_query(positions, candidates, los, his)
+        in_frontier = owned & inside.T
+        frontier_bits = (in_frontier.astype(np.uint64) * bit_of[None, :]).sum(axis=1)
+        keep = frontier_bits != zero
+        frontier = candidates[keep]
+        frontier_bits = frontier_bits[keep]
+        if frontier.size:
+            level_ids.append(frontier)
+            level_bits.append(frontier_bits)
+        return frontier, frontier_bits
+
+    # Level 0: each query's deduplicated start vertices, merged into one
+    # ownership-tagged union (a start shared by several queries is stamped,
+    # counted, and position-tested once for all of them).
+    id_chunks: list[np.ndarray] = []
+    bit_chunks: list[np.ndarray] = []
+    for query_index, raw_starts in enumerate(start_lists):
+        starts = np.unique(np.asarray(raw_starts, dtype=np.int64))
+        if starts.size:
+            id_chunks.append(starts)
+            bit_chunks.append(np.full(starts.size, bit_of[query_index], dtype=np.uint64))
+    if id_chunks:
+        candidates, reach_bits = _or_duplicates(
+            np.concatenate(id_chunks), np.concatenate(bit_chunks)
+        )
+        frontier, frontier_bits = stamp_and_test(candidates, reach_bits)
+
+        while frontier.size:
+            neighbors, degrees = _gather_neighbors(
+                indptr, indices, frontier, scratch, return_counts=True
+            )
+            owned = (frontier_bits[:, None] & bit_of[None, :]) != zero
+            edges_per_query += (degrees[:, None] * owned).sum(axis=0)
+            unique_edges += int(neighbors.size)
+            if neighbors.size == 0:
+                break
+            neighbor_bits = np.repeat(frontier_bits, degrees)
+            candidates, reach_bits = _or_duplicates(neighbors, neighbor_bits)
+            frontier, frontier_bits = stamp_and_test(candidates, reach_bits)
+
+    if level_ids:
+        all_ids = np.concatenate(level_ids)
+        all_bits = np.concatenate(level_bits)
+    else:
+        all_ids = np.empty(0, dtype=np.int64)
+        all_bits = np.empty(0, dtype=np.uint64)
+    outcomes = []
+    for query_index in range(n_queries):
+        mask = (all_bits & bit_of[query_index]) != zero
+        outcomes.append(
+            CrawlOutcome(
+                np.sort(all_ids[mask]),
+                int(visited_per_query[query_index]),
+                int(edges_per_query[query_index]),
+            )
+        )
+    return outcomes, unique_visited, unique_edges
+
+
+def crawl_many(
+    mesh: PolyhedralMesh,
+    boxes: Sequence[Box3D],
+    start_lists: Sequence[np.ndarray],
+    counters_list: Sequence[QueryCounters | None] | None = None,
+    scratch: CrawlScratch | None = None,
+) -> BatchCrawlOutcome:
+    """Fused breadth-first crawl of a whole batch of range queries.
+
+    Queries are processed in groups of up to 64; within a group all BFS levels
+    run lock-step over one *union* frontier, so overlapping boxes share CSR
+    gathers, deduplication, and position tests instead of re-walking the same
+    region once per query.  Results and per-query counters are bit-identical
+    to calling :func:`crawl` once per box with the same start vertices.
+
+    Parameters
+    ----------
+    mesh:
+        The mesh whose current vertex positions define "inside the box".
+    boxes:
+        The range queries.
+    start_lists:
+        One array of candidate start vertex ids per box (the surface-probe or
+        grid/walk output); an empty array yields an empty result for that box.
+    counters_list:
+        Optional per-query counter records updated in place (entries may be
+        ``None`` to skip a query's accounting).
+    scratch:
+        Reusable arena providing the (vertex, query-bitset) visited words and
+        gather buffers; a throwaway arena is allocated when omitted.
+    """
+    box_list = list(boxes)
+    if len(start_lists) != len(box_list):
+        raise ValueError(
+            f"crawl_many: {len(box_list)} boxes but {len(start_lists)} start lists"
+        )
+    if counters_list is not None and len(counters_list) != len(box_list):
+        raise ValueError(
+            f"crawl_many: {len(box_list)} boxes but {len(counters_list)} counter records"
+        )
+    if scratch is None:
+        scratch = CrawlScratch()
+
+    batch = BatchCrawlOutcome()
+    if not box_list:
+        return batch
+    adjacency = mesh.adjacency
+    positions = mesh.vertices
+    indptr, indices = adjacency.indptr, adjacency.indices
+
+    for group_start in range(0, len(box_list), GROUP_SIZE):
+        group_boxes = box_list[group_start:group_start + GROUP_SIZE]
+        los, his = boxes_to_arrays(group_boxes)
+        outcomes, unique_visited, unique_edges = _crawl_group(
+            positions,
+            indptr,
+            indices,
+            los,
+            his,
+            start_lists[group_start:group_start + GROUP_SIZE],
+            scratch,
+            mesh.n_vertices,
+        )
+        batch.outcomes.extend(outcomes)
+        batch.n_unique_vertices_visited += unique_visited
+        batch.n_unique_edges_followed += unique_edges
+        batch.n_groups += 1
+
+    for outcome in batch.outcomes:
+        batch.n_attributed_vertex_visits += outcome.n_vertices_visited
+        batch.n_attributed_edge_follows += outcome.n_edges_followed
+    if counters_list is not None:
+        for counters, outcome in zip(counters_list, batch.outcomes):
+            if counters is not None:
+                counters.crawl_vertices_visited += outcome.n_vertices_visited
+                counters.crawl_edges_followed += outcome.n_edges_followed
+    return batch

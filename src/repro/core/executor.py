@@ -15,11 +15,14 @@ Figure 1(e):
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Callable, Sequence
+
+import numpy as np
 
 from ..mesh import Box3D, PolyhedralMesh
-from .result import QueryResult
+from .result import QueryCounters, QueryResult
 
 __all__ = ["ExecutionStrategy"]
 
@@ -83,10 +86,63 @@ class ExecutionStrategy(ABC):
         calling :meth:`query` sequentially.  The base implementation is that
         sequential loop; strategies with a vectorisable scan phase override it
         to amortise per-query NumPy dispatch across the whole batch (OCTOPUS
-        probes the surface against all boxes in one broadcasted pass, the
-        linear scan tests all boxes against all vertices at once).
+        fuses the surface probe *and* the crawls of the whole batch, the tree
+        baselines share one index traversal, the linear scan tests all boxes
+        against all vertices at once).
+
+        **Failure contract (all-or-nothing):** if answering any box raises,
+        the exception propagates and *no* results are returned — the
+        :class:`QueryResult`\\ s (and their counters) of the boxes answered
+        before the failure are discarded, never partially delivered.  Work
+        counters live on those per-query results, so a failed batch leaves no
+        half-accumulated counts behind; the strategy's cumulative accounting
+        (``preprocessing_time``, ``maintenance_time``, ``maintenance_entries``)
+        is never touched by a query batch and therefore keeps its pre-call
+        values.  Internal scratch state (e.g. visited-arena epochs) may have
+        advanced, which has no observable effect; callers who need the results
+        of a partially failing batch must retry box by box via :meth:`query`.
+        Overrides must preserve this contract.
         """
-        return [self.query(box) for box in boxes]
+        box_list = list(boxes)
+        results: list[QueryResult] = []
+        for index, box in enumerate(box_list):
+            try:
+                results.append(self.query(box))
+            except Exception as exc:
+                if hasattr(exc, "add_note"):  # pragma: no branch - py3.11+
+                    exc.add_note(
+                        f"query_many: {self.name} failed on box {index} of "
+                        f"{len(box_list)}; results of the {index} completed "
+                        "queries were discarded (all-or-nothing contract)"
+                    )
+                raise
+        return results
+
+    def _shared_index_batch(
+        self,
+        boxes: Sequence[Box3D],
+        run: Callable[[list[Box3D], list[QueryCounters]], list[np.ndarray]],
+    ) -> list[QueryResult]:
+        """Common ``query_many`` shape for the index-based strategies.
+
+        ``run(box_list, counters_list)`` answers the whole batch with one
+        shared traversal of the strategy's index, returning one vertex-id
+        array per box and filling one counter record per box.  The shared
+        traversal's wall-clock is apportioned evenly across the batch; single
+        boxes short-circuit to :meth:`query` so the sequential code stays the
+        single source of truth for that case.
+        """
+        box_list = list(boxes)
+        if len(box_list) <= 1:
+            return [self.query(box) for box in box_list]
+        counters_list = [QueryCounters() for _ in box_list]
+        start = time.perf_counter()
+        ids_list = run(box_list, counters_list)
+        elapsed = (time.perf_counter() - start) / len(box_list)
+        return [
+            QueryResult(vertex_ids=ids, counters=counters, index_time=elapsed, total_time=elapsed)
+            for ids, counters in zip(ids_list, counters_list)
+        ]
 
     # ------------------------------------------------------------------
     # accounting

@@ -34,7 +34,7 @@ from ..mesh import (
     points_boxes_distance_sq,
     points_in_boxes,
 )
-from .crawler import crawl
+from .crawler import BatchCrawlOutcome, crawl, crawl_many
 from .directed_walk import directed_walk
 from .executor import ExecutionStrategy
 from .result import QueryCounters, QueryResult
@@ -70,6 +70,8 @@ class OctopusExecutor(ExecutionStrategy):
         self._probe_ids: np.ndarray | None = None
         #: reusable per-executor crawl arena (epoch-stamped visited + buffers)
         self.scratch = CrawlScratch()
+        #: fused-crawl accounting of the most recent query_many() batch
+        self.last_fused_crawl: BatchCrawlOutcome | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -134,6 +136,28 @@ class OctopusExecutor(ExecutionStrategy):
         # Phases 2 and 3: directed walk (only on a probe miss) and crawl.
         return self._walk_and_crawl(box, probe.inside_ids, probe.closest_id, counters, probe_time)
 
+    def _walk_for_start(
+        self,
+        box: Box3D,
+        start_vertices: np.ndarray,
+        closest_id: int | None,
+        counters: QueryCounters,
+    ) -> tuple[np.ndarray, float]:
+        """Phase 2 of Algorithm 1 (shared by the sequential and batched paths).
+
+        On a probe miss, walks from the closest surface vertex towards the
+        box; returns the (possibly updated) crawl start vertices and the walk
+        seconds.
+        """
+        walk_time = 0.0
+        if start_vertices.size == 0 and closest_id is not None:
+            walk_start = time.perf_counter()
+            walk = directed_walk(self.mesh, box, closest_id, counters, scratch=self.scratch)
+            walk_time = time.perf_counter() - walk_start
+            if walk.found_id is not None:
+                start_vertices = np.asarray([walk.found_id], dtype=np.int64)
+        return start_vertices, walk_time
+
     def _walk_and_crawl(
         self,
         box: Box3D,
@@ -142,15 +166,9 @@ class OctopusExecutor(ExecutionStrategy):
         counters: QueryCounters,
         probe_time: float,
     ) -> QueryResult:
-        """Phases 2–3 of Algorithm 1, shared by the sequential and batched paths."""
+        """Phases 2–3 of Algorithm 1 for one box (the sequential tail)."""
         mesh = self.mesh
-        walk_time = 0.0
-        if start_vertices.size == 0 and closest_id is not None:
-            walk_start = time.perf_counter()
-            walk = directed_walk(mesh, box, closest_id, counters, scratch=self.scratch)
-            walk_time = time.perf_counter() - walk_start
-            if walk.found_id is not None:
-                start_vertices = np.asarray([walk.found_id], dtype=np.int64)
+        start_vertices, walk_time = self._walk_for_start(box, start_vertices, closest_id, counters)
 
         crawl_start = time.perf_counter()
         outcome = crawl(mesh, box, start_vertices, counters, scratch=self.scratch)
@@ -165,15 +183,20 @@ class OctopusExecutor(ExecutionStrategy):
         )
 
     def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
-        """Batched Algorithm 1: one broadcasted probe, then per-box walk/crawl.
+        """Batched Algorithm 1: one broadcasted probe, then one fused crawl.
 
         The surface is tested against *all* query boxes in a single NumPy
         pass (chunked to bound the broadcast), which amortises the probe's
-        dispatch overhead across the batch; the walk and crawl then run per
-        box against the shared scratch arena.  Results, counters and result
-        ids are identical to sequential :meth:`query` calls.
+        dispatch overhead across the batch; the directed walks (probe misses
+        only) run per box, and the crawls of the whole batch are fused into
+        one shared-frontier BFS (:func:`~repro.core.crawler.crawl_many`) so
+        overlapping boxes share CSR gathers and position tests.  Results,
+        counters and result ids are identical to sequential :meth:`query`
+        calls; the shared probe and crawl wall-clock is apportioned evenly
+        across the batch.
         """
         box_list = list(boxes)
+        self.last_fused_crawl = None  # set again below iff this batch fuses
         if len(box_list) <= 1:
             return [self.query(box) for box in box_list]
         mesh = self.mesh
@@ -214,7 +237,10 @@ class OctopusExecutor(ExecutionStrategy):
         # The probe cost is shared by the whole batch; apportion it evenly.
         probe_time = (time.perf_counter() - probe_start) / len(box_list)
 
-        results: list[QueryResult] = []
+        # Phase 2 per box (probe misses only), then phase 3 fused across the batch.
+        counters_list: list[QueryCounters] = []
+        walk_times: list[float] = []
+        crawl_starts: list[np.ndarray] = []
         for box, start_vertices, closest_id in zip(box_list, start_lists, closest_ids):
             counters = QueryCounters()
             counters.surface_probed += int(probe_ids.size)
@@ -222,7 +248,30 @@ class OctopusExecutor(ExecutionStrategy):
                 # Mirrors probe(): the closest-vertex pass costs one distance
                 # evaluation per probed vertex.
                 counters.probe_distance_computations += int(probe_ids.size)
-            results.append(self._walk_and_crawl(box, start_vertices, closest_id, counters, probe_time))
+            start_vertices, walk_time = self._walk_for_start(
+                box, start_vertices, closest_id, counters
+            )
+            counters_list.append(counters)
+            walk_times.append(walk_time)
+            crawl_starts.append(start_vertices)
+
+        crawl_start = time.perf_counter()
+        batch = crawl_many(mesh, box_list, crawl_starts, counters_list, scratch=self.scratch)
+        crawl_time = (time.perf_counter() - crawl_start) / len(box_list)
+        self.last_fused_crawl = batch
+
+        results: list[QueryResult] = []
+        for outcome, counters, walk_time in zip(batch.outcomes, counters_list, walk_times):
+            results.append(
+                QueryResult(
+                    vertex_ids=outcome.result_ids,
+                    counters=counters,
+                    probe_time=probe_time,
+                    walk_time=walk_time,
+                    crawl_time=crawl_time,
+                    total_time=probe_time + walk_time + crawl_time,
+                )
+            )
         return results
 
     # ------------------------------------------------------------------

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..errors import QueryError
 from ..mesh import Box3D
-from .crawler import crawl
+from .crawler import BatchCrawlOutcome, crawl, crawl_many
 from .directed_walk import directed_walk
 from .executor import ExecutionStrategy
 from .result import QueryCounters, QueryResult
@@ -56,6 +56,8 @@ class OctopusConExecutor(ExecutionStrategy):
         self._grid: UniformGrid | None = None
         #: reusable per-executor crawl arena (epoch-stamped visited + buffers)
         self.scratch = CrawlScratch()
+        #: fused-crawl accounting of the most recent query_many() batch
+        self.last_fused_crawl: BatchCrawlOutcome | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -87,6 +89,28 @@ class OctopusConExecutor(ExecutionStrategy):
 
         return self._walk_and_crawl(box, start_id, counters, locate_time)
 
+    def _walk_for_start(
+        self,
+        box: Box3D,
+        start_id: int | None,
+        counters: QueryCounters,
+    ) -> tuple[np.ndarray, float]:
+        """Directed-walk phase (shared by the sequential and batched paths).
+
+        Walks from the grid-suggested vertex towards the box; returns the
+        crawl start vertices (empty when the walk got stuck or the grid was
+        empty) and the walk seconds.
+        """
+        walk_time = 0.0
+        start_vertices = np.empty(0, dtype=np.int64)
+        if start_id is not None:
+            walk_start = time.perf_counter()
+            walk = directed_walk(self.mesh, box, start_id, counters, scratch=self.scratch)
+            walk_time = time.perf_counter() - walk_start
+            if walk.found_id is not None:
+                start_vertices = np.asarray([walk.found_id], dtype=np.int64)
+        return start_vertices, walk_time
+
     def _walk_and_crawl(
         self,
         box: Box3D,
@@ -94,16 +118,9 @@ class OctopusConExecutor(ExecutionStrategy):
         counters: QueryCounters,
         locate_time: float,
     ) -> QueryResult:
-        """Walk-then-crawl tail shared by the sequential and batched paths."""
+        """Walk-then-crawl tail for one box (the sequential path)."""
         mesh = self.mesh
-        walk_time = 0.0
-        start_vertices = np.empty(0, dtype=np.int64)
-        if start_id is not None:
-            walk_start = time.perf_counter()
-            walk = directed_walk(mesh, box, start_id, counters, scratch=self.scratch)
-            walk_time = time.perf_counter() - walk_start
-            if walk.found_id is not None:
-                start_vertices = np.asarray([walk.found_id], dtype=np.int64)
+        start_vertices, walk_time = self._walk_for_start(box, start_id, counters)
 
         crawl_start = time.perf_counter()
         outcome = crawl(mesh, box, start_vertices, counters, scratch=self.scratch)
@@ -118,22 +135,30 @@ class OctopusConExecutor(ExecutionStrategy):
         )
 
     def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
-        """Batched execution: one vectorised grid lookup, then per-box walk/crawl.
+        """Batched execution: one vectorised grid lookup, then one fused crawl.
 
-        All box centres are located in the stale grid in a single pass; only
+        All box centres are located in the stale grid in a single pass (only
         the boxes whose centre cell is empty fall back to the sequential ring
-        search.  The walk and crawl reuse the shared scratch arena.  Results
-        and counters match sequential :meth:`query` calls exactly.
+        search), the directed walks run per box, and the crawls of the whole
+        batch are fused into one shared-frontier BFS
+        (:func:`~repro.core.crawler.crawl_many`) against the shared scratch
+        arena.  Results and counters match sequential :meth:`query` calls
+        exactly.
         """
         box_list = list(boxes)
+        self.last_fused_crawl = None  # set again below iff this batch fuses
         if len(box_list) <= 1:
             return [self.query(box) for box in box_list]
+        mesh = self.mesh
         locate_start = time.perf_counter()
         centers = np.stack([box.center for box in box_list])
         first_hits = self.grid.locate_batch(centers)
         shared_locate_time = (time.perf_counter() - locate_start) / len(box_list)
 
-        results: list[QueryResult] = []
+        counters_list: list[QueryCounters] = []
+        locate_times: list[float] = []
+        walk_times: list[float] = []
+        crawl_starts: list[np.ndarray] = []
         for box, hit in zip(box_list, first_hits):
             counters = QueryCounters()
             locate_time = shared_locate_time
@@ -144,7 +169,31 @@ class OctopusConExecutor(ExecutionStrategy):
                 ring_start = time.perf_counter()
                 start_id = self.grid.any_vertex_near(box.center, counters)
                 locate_time += time.perf_counter() - ring_start
-            results.append(self._walk_and_crawl(box, start_id, counters, locate_time))
+            start_vertices, walk_time = self._walk_for_start(box, start_id, counters)
+            counters_list.append(counters)
+            locate_times.append(locate_time)
+            walk_times.append(walk_time)
+            crawl_starts.append(start_vertices)
+
+        crawl_start = time.perf_counter()
+        batch = crawl_many(mesh, box_list, crawl_starts, counters_list, scratch=self.scratch)
+        crawl_time = (time.perf_counter() - crawl_start) / len(box_list)
+        self.last_fused_crawl = batch
+
+        results: list[QueryResult] = []
+        for outcome, counters, locate_time, walk_time in zip(
+            batch.outcomes, counters_list, locate_times, walk_times
+        ):
+            results.append(
+                QueryResult(
+                    vertex_ids=outcome.result_ids,
+                    counters=counters,
+                    probe_time=locate_time,  # grid lookup takes the place of the probe phase
+                    walk_time=walk_time,
+                    crawl_time=crawl_time,
+                    total_time=locate_time + walk_time + crawl_time,
+                )
+            )
         return results
 
     # ------------------------------------------------------------------

@@ -14,6 +14,12 @@ The arena also keeps a growable identity ramp (``0, 1, 2, ...``) that the
 CSR neighbour gather slices instead of re-materialising ``np.arange`` per
 frontier expansion.
 
+For the fused multi-query crawl the scratch additionally owns a
+*(vertex, query-bitset)* arena: per vertex, a ``uint64`` word whose bit ``q``
+records "visited by query ``q`` of the current batch", guarded by its own
+epoch-stamp array so that starting a new batch is again a single increment
+(a stale stamp means the word is garbage and is treated as all-zeros).
+
 A scratch instance is owned by one executor and is **not** thread-safe; two
 concurrent queries must use two scratches.
 """
@@ -43,12 +49,15 @@ class CrawlScratch:
     since the last query (e.g. after a restructuring step).
     """
 
-    __slots__ = ("_stamps", "_epoch", "_iota")
+    __slots__ = ("_stamps", "_epoch", "_iota", "_batch_stamps", "_batch_words", "_batch_epoch")
 
     def __init__(self) -> None:
         self._stamps = np.empty(0, dtype=np.int32)
         self._epoch = _NEVER
         self._iota = np.empty(0, dtype=np.int64)
+        self._batch_stamps = np.empty(0, dtype=np.int32)
+        self._batch_words = np.empty(0, dtype=np.uint64)
+        self._batch_epoch = _NEVER
 
     # ------------------------------------------------------------------
     # the visited arena
@@ -79,6 +88,36 @@ class CrawlScratch:
         return self._stamps, self._epoch
 
     # ------------------------------------------------------------------
+    # the (vertex, query-bitset) batch arena
+    # ------------------------------------------------------------------
+    @property
+    def batch_epoch(self) -> int:
+        """Epoch of the most recent :meth:`acquire_batch` (0 before any batch)."""
+        return self._batch_epoch
+
+    def acquire_batch(self, n_vertices: int) -> tuple[np.ndarray, np.ndarray, int]:
+        """Begin a fused multi-query group; returns ``(stamps, words, epoch)``.
+
+        ``words[v]`` is a ``uint64`` bitset whose bit ``q`` means "vertex ``v``
+        was visited by query ``q`` of the current group" — but only where
+        ``stamps[v] == epoch``; a stale stamp marks the word as garbage from an
+        earlier group, to be treated as all-zeros and overwritten.  Like
+        :meth:`acquire`, starting a group is a single epoch increment: the
+        words are never cleared (``np.empty`` on growth), only the ``int32``
+        stamp array pays a bulk clear on growth or on epoch rollover.
+        """
+        if self._batch_stamps.size < n_vertices:
+            capacity = max(n_vertices, 2 * self._batch_stamps.size)
+            self._batch_stamps = np.zeros(capacity, dtype=np.int32)
+            self._batch_words = np.empty(capacity, dtype=np.uint64)
+            self._batch_epoch = _NEVER
+        elif self._batch_epoch >= _EPOCH_LIMIT:
+            self._batch_stamps.fill(_NEVER)
+            self._batch_epoch = _NEVER
+        self._batch_epoch += 1
+        return self._batch_stamps, self._batch_words, self._batch_epoch
+
+    # ------------------------------------------------------------------
     # gather buffers
     # ------------------------------------------------------------------
     def iota(self, n: int) -> np.ndarray:
@@ -91,13 +130,25 @@ class CrawlScratch:
     # accounting
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:
-        """Current footprint of the arena and buffers."""
-        return int(self._stamps.nbytes + self._iota.nbytes)
+        """Current footprint of the arenas and buffers."""
+        return int(
+            self._stamps.nbytes
+            + self._iota.nbytes
+            + self._batch_stamps.nbytes
+            + self._batch_words.nbytes
+        )
+
+    #: steady-state arena bytes per vertex: 4 (visited stamps) + 4 (batch
+    #: stamps) + 8 (uint64 ownership words) — batching is the harness default,
+    #: so both arenas count
+    BYTES_PER_VERTEX = 16
 
     def expected_bytes(self, n_vertices: int) -> int:
-        """Footprint after serving a query on an ``n_vertices`` mesh.
+        """Steady-state footprint for serving queries on an ``n_vertices`` mesh.
 
-        Used by ``memory_overhead_bytes()`` so executors report the scratch
-        cost even before the first query allocates it.
+        Used by ``memory_overhead_bytes()`` so executors report a stable
+        scratch cost regardless of whether the lazily grown arenas (visited
+        stamps, batch stamps + ownership words) have been touched yet — the
+        reported overhead must not jump depending on query history.
         """
-        return max(self.memory_bytes(), 4 * int(n_vertices))
+        return max(self.memory_bytes(), self.BYTES_PER_VERTEX * int(n_vertices))

@@ -24,7 +24,7 @@ from typing import Iterable
 import numpy as np
 
 from ..errors import IndexError_
-from ..mesh import Box3D, PolyhedralMesh, points_box_distance, points_in_box
+from ..mesh import Box3D, PolyhedralMesh, points_boxes_distance_sq, points_in_box
 from .result import QueryCounters
 
 __all__ = ["SurfaceIndex", "SurfaceProbeOutcome"]
@@ -187,13 +187,16 @@ class SurfaceIndex:
         inside_ids = ids[inside_mask]
         if inside_ids.size:
             return SurfaceProbeOutcome(inside_ids, None, 0.0, n_probed)
-        distances = points_box_distance(positions, box)
+        # Select the closest vertex on *squared* distances through the same
+        # kernel the batched probe broadcasts, so sequential and batched paths
+        # pick bit-identical argmins even on sqrt-rounding near-ties.
+        distances_sq = points_boxes_distance_sq(positions, box.lo[None, :], box.hi[None, :])[0]
         if counters is not None:
             counters.probe_distance_computations += n_probed
-        closest_pos = int(np.argmin(distances))
+        closest_pos = int(np.argmin(distances_sq))
         return SurfaceProbeOutcome(
             np.empty(0, dtype=np.int64),
             int(ids[closest_pos]),
-            float(distances[closest_pos]),
+            float(np.sqrt(distances_sq[closest_pos])),
             n_probed,
         )

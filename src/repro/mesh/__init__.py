@@ -1,6 +1,6 @@
 """Mesh substrate: geometry, connectivity, surface extraction and layouts."""
 
-from .adjacency import AdjacencyList, edges_from_cells
+from .adjacency import AdjacencyList, csr_gather, edges_from_cells
 from .base import PolyhedralMesh
 from .convexity import convexity_defect, is_convex_point_set, mesh_is_convex
 from .geometry import (
@@ -45,6 +45,7 @@ __all__ = [
     "cell_faces",
     "convexity_defect",
     "density_statistics",
+    "csr_gather",
     "edges_from_cells",
     "extract_surface",
     "hilbert_distances",

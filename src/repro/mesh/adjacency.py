@@ -9,13 +9,41 @@ footprint that the experiment harness can account for.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..errors import MeshConnectivityError
 
-__all__ = ["AdjacencyList", "edges_from_cells"]
+__all__ = ["AdjacencyList", "csr_gather", "edges_from_cells"]
+
+
+def csr_gather(
+    offsets: np.ndarray,
+    values: np.ndarray,
+    keys: np.ndarray,
+    ramp: "Callable[[int], np.ndarray] | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR slices ``values[offsets[k]:offsets[k + 1]]`` per key.
+
+    One vectorised flat-gather instead of a Python loop over ``keys``: the
+    inner loop of the crawl's frontier expansion and of the grid's batched
+    candidate gathering.  Returns ``(gathered, counts)`` where ``counts[i]``
+    is the slice length of ``keys[i]`` (so ``gathered`` splits back per key
+    with ``np.cumsum(counts)``).  ``ramp`` may supply a reusable identity
+    ramp (``0, 1, ..., total - 1``) as a callable mapping the needed length
+    to one (e.g. ``CrawlScratch.iota``) to avoid the ``np.arange``
+    allocation.
+    """
+    starts = offsets[keys]
+    counts = offsets[keys + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=values.dtype), counts
+    base = np.arange(total, dtype=np.int64) if ramp is None else ramp(total)
+    owner = np.repeat(np.arange(keys.size), counts)
+    inner = base - np.repeat(np.cumsum(counts) - counts, counts)
+    return values[starts[owner] + inner], counts
 
 # Vertex-pair index offsets that enumerate the edges of the supported
 # polyhedral primitives, expressed against the cell's vertex tuple.

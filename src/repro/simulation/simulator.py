@@ -41,6 +41,8 @@ class StepRecord:
     n_queries: int
     n_results: int
     counters: QueryCounters
+    #: whether this step's boxes went through the batched query_many dispatch
+    batched: bool = False
 
 
 @dataclass
@@ -116,11 +118,15 @@ class MeshSimulation:
         overhead so benchmarks keep it off).
     batch_queries:
         When True, each step's boxes are issued through
-        :meth:`ExecutionStrategy.query_many` so strategies with a batched
-        implementation amortise per-query dispatch; when False every box goes
-        through a separate :meth:`ExecutionStrategy.query` call.  ``None``
-        (the default) batches unless the ``REPRO_SEQUENTIAL_QUERIES``
-        environment variable is set (the CLI's ``--no-batch`` escape hatch).
+        :meth:`ExecutionStrategy.query_many`, so every strategy answers the
+        batch with its native batched engine (OCTOPUS fuses the batch's
+        crawls into one shared-frontier BFS, the tree and grid baselines
+        share one index traversal) — batched-vs-batched comparisons, no
+        per-query dispatch skew; when False every box goes through a
+        separate :meth:`ExecutionStrategy.query` call.  ``None`` (the
+        default) batches unless the ``REPRO_SEQUENTIAL_QUERIES`` environment
+        variable is set (the CLI's ``--no-batch`` escape hatch).  Either way
+        results and counters are identical (see ``tests/test_batch_parity.py``).
     """
 
     def __init__(
@@ -227,5 +233,6 @@ class MeshSimulation:
                     n_queries=len(boxes),
                     n_results=n_results,
                     counters=step_counters,
+                    batched=self.batch_queries,
                 )
             )

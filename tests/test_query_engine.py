@@ -17,7 +17,12 @@ import numpy as np
 import pytest
 
 import repro.core.crawler as crawler_module
-from repro.baselines import LinearScanExecutor, LURTreeExecutor, ThrowawayOctreeExecutor
+from repro.baselines import (
+    LinearScanExecutor,
+    LURTreeExecutor,
+    ThrowawayGridExecutor,
+    ThrowawayOctreeExecutor,
+)
 from repro.core import (
     CrawlScratch,
     OctopusConExecutor,
@@ -56,6 +61,57 @@ class TestCrawlScratch:
         stamps2, epoch2 = scratch.acquire(4)
         assert not (stamps2 == epoch2).any()
 
+    def test_epoch_rollover_boundary_is_exact(self):
+        """One epoch below the limit does not clear; at the limit it does."""
+        scratch = CrawlScratch()
+        stamps, epoch = scratch.acquire(4)
+        stamps[0] = epoch
+        scratch._epoch = np.iinfo(np.int32).max - 2
+        stamps2, epoch2 = scratch.acquire(4)
+        assert epoch2 == np.iinfo(np.int32).max - 1  # no clear yet
+        stamps2[1] = epoch2
+        stamps3, epoch3 = scratch.acquire(4)
+        assert epoch3 == 1  # rollover happened
+        assert not (stamps3 == epoch3).any()
+
+    def test_capacity_survives_mesh_shrinkage(self):
+        """A smaller mesh reuses the big arena instead of reallocating."""
+        scratch = CrawlScratch()
+        big, _ = scratch.acquire(1000)
+        small, epoch = scratch.acquire(10)
+        assert small is big  # capacity kept across shrinkage
+        assert not (small[:10] == epoch).any()
+
+    def test_arena_regrows_between_executor_prepares(self, grid_mesh, neuron_small):
+        """prepare() on a growing mesh regrows the same executor's arena."""
+        meshes = sorted([grid_mesh, neuron_small], key=lambda m: m.n_vertices)
+        octopus = OctopusExecutor()
+        for mesh in meshes:
+            octopus.prepare(mesh)
+            box = Box3D.cube(mesh.vertices[0], 0.3)
+            reference = LinearScanExecutor()
+            reference.prepare(mesh)
+            assert octopus.query(box).same_vertices_as(reference.query(box))
+            assert octopus.scratch._stamps.size >= mesh.n_vertices
+        # Shrinking back keeps the larger capacity and stays correct.
+        octopus.prepare(meshes[0])
+        capacity = octopus.scratch._stamps.size
+        assert capacity >= meshes[1].n_vertices
+        box = Box3D.cube(meshes[0].vertices[0], 0.3)
+        reference = LinearScanExecutor()
+        reference.prepare(meshes[0])
+        assert octopus.query(box).same_vertices_as(reference.query(box))
+
+    def test_batch_arena_regrows_between_executor_prepares(self, grid_mesh, neuron_small):
+        """query_many() after re-prepare() on a bigger mesh regrows the bitset arena."""
+        meshes = sorted([grid_mesh, neuron_small], key=lambda m: m.n_vertices)
+        octopus = OctopusExecutor()
+        for mesh in meshes:
+            octopus.prepare(mesh)
+            boxes = [Box3D.cube(mesh.vertices[0], 0.3), Box3D.cube(mesh.vertices[-1], 0.2)]
+            _assert_batch_matches_sequential(octopus, mesh, boxes)
+            assert octopus.scratch._batch_stamps.size >= mesh.n_vertices
+
     def test_iota_is_reused_ramp(self):
         scratch = CrawlScratch()
         ramp = scratch.iota(5)
@@ -66,9 +122,14 @@ class TestCrawlScratch:
     def test_memory_accounting(self):
         scratch = CrawlScratch()
         assert scratch.memory_bytes() == 0
-        assert scratch.expected_bytes(1000) == 4000
+        # Steady state: visited stamps (4) + batch stamps (4) + words (8).
+        assert scratch.expected_bytes(1000) == 16000
         scratch.acquire(1000)
         assert scratch.memory_bytes() >= 4000
+        scratch.acquire_batch(1000)
+        assert scratch.memory_bytes() >= 16000
+        # The estimate is stable before and after the arenas are touched.
+        assert scratch.expected_bytes(1000) == 16000
 
 
 class TestScratchCrawlEquivalence:
@@ -174,7 +235,7 @@ class TestQueryMany:
         _assert_batch_matches_sequential(executor, neuron_small, workload.boxes)
 
     @pytest.mark.parametrize("factory", [ThrowawayOctreeExecutor, LURTreeExecutor])
-    def test_tree_baselines_inherit_sequential_batch(self, neuron_small, factory):
+    def test_tree_baselines_native_batch_matches_sequential(self, neuron_small, factory):
         executor = factory()
         executor.prepare(neuron_small)
         workload = random_query_workload(neuron_small, selectivity=0.03, n_queries=4, seed=9)
@@ -204,6 +265,16 @@ class TestQueryMany:
             Box3D((0.3, 0.3, 0.3), (0.9, 0.9, 0.9)),
         ]
         _assert_batch_matches_sequential(octopus, mesh, boxes)
+
+    def test_grid_batch_parity_holds_under_tiny_gather_budget(self, neuron_small, monkeypatch):
+        """The grid's box-group chunking never changes results or counters."""
+        import repro.core.uniform_grid as uniform_grid_module
+
+        monkeypatch.setattr(uniform_grid_module, "_CANDIDATE_GATHER_BUDGET", 64)
+        executor = ThrowawayGridExecutor()
+        executor.prepare(neuron_small)
+        workload = random_query_workload(neuron_small, selectivity=0.05, n_queries=8, seed=13)
+        _assert_batch_matches_sequential(executor, neuron_small, workload.boxes)
 
     def test_empty_and_single_batches(self, neuron_small):
         octopus = OctopusExecutor()
