@@ -7,7 +7,6 @@ of a single-start crawl versus the full OCTOPUS surface probe on the neuron
 (non-convex) dataset.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.core import OctopusExecutor, crawl

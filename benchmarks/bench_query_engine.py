@@ -11,7 +11,10 @@ random mesh vertices, microbenchmark-B selectivity):
 * **fused vs. sequential crawl** — one shared-frontier ``crawl_many`` over an
   overlapping-box batch against the equivalent per-box ``crawl`` loop (both
   sides reusing a scratch arena), plus the fused work reduction (unique vs.
-  attributed vertex visits).
+  attributed vertex visits);
+* **fused vs. sequential walk** — one lockstep ``directed_walk_many`` over an
+  overlapping batch of interior boxes against the equivalent per-box
+  ``directed_walk`` loop, plus the walk-phase work sharing.
 
 Writes a perf record to ``BENCH_query_engine.json`` at the repository root so
 future PRs can track the trajectory, and prints the same numbers.  Run it
@@ -20,6 +23,13 @@ directly::
     REPRO_BENCH_PROFILE=tiny python benchmarks/bench_query_engine.py
 
 or through pytest (``pytest benchmarks/bench_query_engine.py -s``).
+
+CI regression gate: when ``REPRO_BENCH_FLOORS`` is set (comma-separated
+``scenario=min_speedup`` pairs, e.g.
+``batched=1.5,fused_crawl=2.0,fused_walk=1.2``), the run fails with a
+non-zero exit status if any named scenario's measured speedup falls below
+its floor.  See docs/performance.md ("The benchmark-regression CI gate")
+for how the floors relate to the recorded numbers and when to update them.
 """
 
 from __future__ import annotations
@@ -37,7 +47,14 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.core import CrawlScratch, OctopusExecutor, crawl, crawl_many  # noqa: E402
+from repro.core import (  # noqa: E402
+    CrawlScratch,
+    OctopusExecutor,
+    crawl,
+    crawl_many,
+    directed_walk,
+    directed_walk_many,
+)
 from repro.experiments.datasets import neuron_largest  # noqa: E402
 from repro.mesh import Box3D, points_in_box  # noqa: E402
 from repro.workloads import random_query_workload  # noqa: E402
@@ -50,6 +67,16 @@ N_QUERIES = 64
 N_ROUNDS = 5
 #: overlapping-box batch for the fused multi-query crawl scenario
 N_OVERLAPPING_QUERIES = 32
+#: overlapping interior boxes for the fused directed-walk scenario
+N_WALK_QUERIES = 32
+
+#: which record section holds each floor-gated scenario's speedup
+FLOOR_SCENARIOS = {
+    "batched": "batched_vs_sequential",
+    "scratch": "scratch_vs_naive_crawl",
+    "fused_crawl": "fused_vs_sequential_crawl",
+    "fused_walk": "fused_vs_sequential_walk",
+}
 
 
 def _timed(fn) -> float:
@@ -165,6 +192,99 @@ def bench_fused_vs_sequential_crawl(mesh) -> dict:
     }
 
 
+def bench_fused_vs_sequential_walk(mesh) -> dict:
+    """Fused lockstep walks on an overlapping interior batch vs. per-box walks.
+
+    All walks start from the same surface vertex (the batched executor's
+    probe-miss pattern on enclosed queries) towards small interior boxes
+    jittered around the mesh centre, so the beams traverse largely the same
+    corridor — the fused walk pays one gather and one distance kernel per
+    lockstep round instead of one per query per step.
+    """
+    rng = np.random.default_rng(11)
+    bounding = mesh.bounding_box()
+    diagonal = float(np.linalg.norm(bounding.extents))
+    interior = mesh.vertices[mesh.n_vertices // 2]
+    boxes = [
+        Box3D.cube(interior + rng.normal(0.0, 0.005 * diagonal, 3), 0.03 * diagonal)
+        for _ in range(N_WALK_QUERIES)
+    ]
+    surface = mesh.surface_vertices()
+    start = int(surface[0])
+    starts = [start] * len(boxes)
+
+    sequential_scratch = CrawlScratch()
+
+    def sequential():
+        for box in boxes:
+            directed_walk(mesh, box, start, scratch=sequential_scratch)
+
+    fused_scratch = CrawlScratch()
+
+    def fused():
+        directed_walk_many(mesh, boxes, starts, scratch=fused_scratch)
+
+    sequential_time, fused_time = _best_of_interleaved(N_ROUNDS, sequential, fused)
+
+    batch = directed_walk_many(mesh, boxes, starts, scratch=fused_scratch)
+    independent = [
+        directed_walk(mesh, box, start, scratch=sequential_scratch) for box in boxes
+    ]
+    assert all(
+        a.found_id == b.found_id and a.n_steps == b.n_steps
+        for a, b in zip(batch.outcomes, independent)
+    )
+
+    return {
+        "n_queries": len(boxes),
+        "sequential_s": sequential_time,
+        "fused_s": fused_time,
+        "speedup": sequential_time / max(fused_time, 1e-12),
+        "attributed_distance_computations": batch.n_attributed_distance_computations,
+        "unique_distance_computations": batch.n_unique_distance_computations,
+        "work_sharing_factor": batch.n_attributed_distance_computations
+        / max(batch.n_unique_distance_computations, 1),
+        "lockstep_rounds": batch.n_rounds,
+        "sequential_steps": sum(o.n_steps for o in batch.outcomes),
+    }
+
+
+def parse_floors(spec: str) -> dict[str, float]:
+    """Parse ``REPRO_BENCH_FLOORS`` (``name=min_speedup`` pairs, comma-separated)."""
+    floors: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        name = name.strip()
+        if name not in FLOOR_SCENARIOS:
+            raise SystemExit(
+                f"unknown benchmark floor {name!r}; expected one of {sorted(FLOOR_SCENARIOS)}"
+            )
+        try:
+            floors[name] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"invalid benchmark floor {part!r}; expected {name}=<min_speedup>, "
+                f"e.g. {name}=1.5"
+            ) from None
+    return floors
+
+
+def enforce_floors(record: dict, floors: dict[str, float]) -> list[str]:
+    """Return one failure message per scenario whose speedup is below its floor."""
+    failures = []
+    for name, minimum in floors.items():
+        speedup = record[FLOOR_SCENARIOS[name]]["speedup"]
+        if speedup < minimum:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x is below the regression floor "
+                f"{minimum:.2f}x (scenario {FLOOR_SCENARIOS[name]})"
+            )
+    return failures
+
+
 def run(profile: str | None = None) -> dict:
     profile = profile or os.environ.get("REPRO_BENCH_PROFILE", "small")
     mesh = neuron_largest(profile)
@@ -185,16 +305,16 @@ def run(profile: str | None = None) -> dict:
         "batched_vs_sequential": bench_batched_vs_sequential(mesh, workload.boxes),
         "scratch_vs_naive_crawl": bench_scratch_vs_naive_crawl(mesh, workload.boxes),
         "fused_vs_sequential_crawl": bench_fused_vs_sequential_crawl(mesh),
+        "fused_vs_sequential_walk": bench_fused_vs_sequential_walk(mesh),
     }
     return record
 
 
-def main() -> int:
-    record = run()
-    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+def _print_record(record: dict) -> None:
     batched = record["batched_vs_sequential"]
     scratch = record["scratch_vs_naive_crawl"]
     fused = record["fused_vs_sequential_crawl"]
+    walk = record["fused_vs_sequential_walk"]
     print(f"profile={record['profile']}  mesh_vertices={record['mesh_vertices']}")
     print(
         f"batched vs sequential: {batched['sequential_s'] * 1e3:.2f} ms -> "
@@ -209,8 +329,30 @@ def main() -> int:
         f"{fused['fused_s'] * 1e3:.2f} ms  ({fused['speedup']:.2f}x, "
         f"work sharing {fused['work_sharing_factor']:.1f}x)"
     )
+    print(
+        f"fused vs sequential walk: {walk['sequential_s'] * 1e3:.2f} ms -> "
+        f"{walk['fused_s'] * 1e3:.2f} ms  ({walk['speedup']:.2f}x, "
+        f"work sharing {walk['work_sharing_factor']:.1f}x, "
+        f"{walk['sequential_steps']} steps in {walk['lockstep_rounds']} rounds)"
+    )
+
+
+def _check_floors_from_env(record: dict) -> list[str]:
+    spec = os.environ.get("REPRO_BENCH_FLOORS", "")
+    if not spec:
+        return []
+    failures = enforce_floors(record, parse_floors(spec))
+    for failure in failures:
+        print(f"FLOOR VIOLATION: {failure}", file=sys.stderr)
+    return failures
+
+
+def main() -> int:
+    record = run()
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    _print_record(record)
     print(f"record written to {RECORD_PATH}")
-    return 0
+    return 1 if _check_floors_from_env(record) else 0
 
 
 def test_query_engine_benchmark(profile, record_rows):
@@ -220,6 +362,7 @@ def test_query_engine_benchmark(profile, record_rows):
     batched = record["batched_vs_sequential"]
     scratch = record["scratch_vs_naive_crawl"]
     fused = record["fused_vs_sequential_crawl"]
+    walk = record["fused_vs_sequential_walk"]
     rows = [
         {
             "comparison": "batched vs sequential",
@@ -239,8 +382,16 @@ def test_query_engine_benchmark(profile, record_rows):
             "optimized_s": fused["fused_s"],
             "speedup": fused["speedup"],
         },
+        {
+            "comparison": "fused vs sequential walk",
+            "baseline_s": walk["sequential_s"],
+            "optimized_s": walk["fused_s"],
+            "speedup": walk["speedup"],
+        },
     ]
     record_rows("bench_query_engine", rows, "Query engine microbenchmark")
+    failures = _check_floors_from_env(record)
+    assert not failures, "; ".join(failures)
 
 
 if __name__ == "__main__":

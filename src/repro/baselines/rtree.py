@@ -15,7 +15,7 @@ entry-to-leaf assignments and the node MBRs.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -3,18 +3,19 @@
 from .approximation import ApproximationPoint, evaluate_surface_approximation
 from .cost_model import CostModel, calibrate_cost_model
 from .crawler import BatchCrawlOutcome, CrawlOutcome, crawl, crawl_many
-from .directed_walk import WalkOutcome, directed_walk
+from .directed_walk import BatchWalkOutcome, WalkOutcome, directed_walk, directed_walk_many
 from .executor import ExecutionStrategy
 from .octopus import OctopusExecutor
 from .octopus_con import OctopusConExecutor
 from .result import QueryCounters, QueryResult
-from .scratch import CrawlScratch
+from .scratch import CrawlScratch, WalkArena
 from .surface_index import SurfaceIndex, SurfaceProbeOutcome
 from .uniform_grid import UniformGrid
 
 __all__ = [
     "ApproximationPoint",
     "BatchCrawlOutcome",
+    "BatchWalkOutcome",
     "CostModel",
     "CrawlOutcome",
     "CrawlScratch",
@@ -26,10 +27,12 @@ __all__ = [
     "SurfaceIndex",
     "SurfaceProbeOutcome",
     "UniformGrid",
+    "WalkArena",
     "WalkOutcome",
     "calibrate_cost_model",
     "crawl",
     "crawl_many",
     "directed_walk",
+    "directed_walk_many",
     "evaluate_surface_approximation",
 ]

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ExperimentError
-from ..mesh import Box3D, PolyhedralMesh, points_in_box
+from ..mesh import PolyhedralMesh, points_in_box
 from .crawler import crawl
 
 __all__ = ["CostModel", "calibrate_cost_model"]

@@ -19,17 +19,18 @@ epoch-stamped arena instead of a fresh O(n_vertices) bitmap, so repeated
 queries on a prepared executor never pay a dataset-size allocation.
 
 :func:`crawl_many` fuses a whole *batch* of crawls into one shared-frontier
-BFS: queries are processed in groups of up to 64, each vertex carries a
-``uint64`` ownership bitset (bit ``q`` = "in query ``q``'s BFS"), and every
-level expands the *union* frontier with a single CSR gather, a single
-deduplication, and a single broadcasted position test.  Overlapping boxes
-therefore share the work of walking the same mesh region, while the ownership
-bitmask keeps per-query counters exactly attributable: each query's reported
-vertex visits and edge follows are bit-identical to what an independent
-:func:`crawl` would have counted, and they sum to the batch's attributed work
-(each fused operation counted once per owning query).  The *unique* fused work
-— the operations the machine actually performed — is reported separately and
-is never larger than the attributed total.
+BFS: each vertex carries a row of ``uint64`` ownership words — bit ``q % 64``
+of word ``q // 64`` means "in query ``q``'s BFS" — and every level expands the
+*union* frontier with a single CSR gather, a single deduplication, and a
+single broadcasted position test.  The word axis widens with the batch, so a
+single fused crawl serves arbitrarily large batches (there is no 64-query
+grouping).  Overlapping boxes share the work of walking the same mesh region,
+while the ownership bitmask keeps per-query counters exactly attributable:
+each query's reported vertex visits and edge follows are bit-identical to
+what an independent :func:`crawl` would have counted, and they sum to the
+batch's attributed work (each fused operation counted once per owning query).
+The *unique* fused work — the operations the machine actually performed — is
+reported separately and is never larger than the attributed total.
 """
 
 from __future__ import annotations
@@ -52,7 +53,8 @@ from .scratch import CrawlScratch
 
 __all__ = ["crawl", "crawl_many", "CrawlOutcome", "BatchCrawlOutcome"]
 
-#: queries fused per shared-frontier group (one uint64 ownership word)
+#: queries per ownership word (the bit width of one uint64); batches larger
+#: than this widen the per-vertex ownership row instead of being chunked
 GROUP_SIZE = 64
 
 
@@ -173,8 +175,21 @@ class BatchCrawlOutcome:
         The same work counted once per *owning query* — exactly the sum of the
         per-query counters, which is also what the sequential crawls would
         have performed in total.
+    n_unique_walk_distance_computations / n_attributed_walk_distance_computations:
+        The walk-phase analogue, filled by the executors when the batch's
+        directed walks also ran fused
+        (:func:`~repro.core.directed_walk.directed_walk_many`): unique counts
+        each candidate position gathered per lockstep round once, attributed
+        counts it once per walking query — exactly the sum of the per-query
+        ``walk_distance_computations`` counters.  Zero when no query in the
+        batch needed a walk.
+    n_words:
+        Width of the per-vertex ownership row (``ceil(n_queries / 64)``
+        ``uint64`` words); batches beyond 64 queries take the multi-word path.
     n_groups:
-        Number of ≤64-query fusion groups the batch was split into.
+        Number of fused BFS passes the batch required — always 1 for a
+        non-empty batch now that ownership rows widen instead of chunking
+        (kept for compatibility with earlier ≤64-query grouping).
     """
 
     __slots__ = (
@@ -183,6 +198,9 @@ class BatchCrawlOutcome:
         "n_unique_edges_followed",
         "n_attributed_vertex_visits",
         "n_attributed_edge_follows",
+        "n_unique_walk_distance_computations",
+        "n_attributed_walk_distance_computations",
+        "n_words",
         "n_groups",
     )
 
@@ -192,14 +210,17 @@ class BatchCrawlOutcome:
         self.n_unique_edges_followed = 0
         self.n_attributed_vertex_visits = 0
         self.n_attributed_edge_follows = 0
+        self.n_unique_walk_distance_computations = 0
+        self.n_attributed_walk_distance_computations = 0
+        self.n_words = 0
         self.n_groups = 0
 
 
 def _or_duplicates(ids: np.ndarray, bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Deduplicate ``ids``, OR-combining the ownership ``bits`` of duplicates.
 
-    Returns sorted unique ids and, per unique id, the union of the bitsets of
-    all its occurrences.
+    ``bits`` is ``(n, n_words)``; returns sorted unique ids and, per unique
+    id, the union of the bitset rows of all its occurrences.
     """
     order = np.argsort(ids)
     sorted_ids = ids[order]
@@ -208,7 +229,7 @@ def _or_duplicates(ids: np.ndarray, bits: np.ndarray) -> tuple[np.ndarray, np.nd
     boundaries[0] = True
     np.not_equal(sorted_ids[1:], sorted_ids[:-1], out=boundaries[1:])
     starts = np.nonzero(boundaries)[0]
-    return sorted_ids[starts], np.bitwise_or.reduceat(sorted_bits, starts)
+    return sorted_ids[starts], np.bitwise_or.reduceat(sorted_bits, starts, axis=0)
 
 
 def _inside_per_query(
@@ -224,7 +245,62 @@ def _inside_per_query(
     return out
 
 
-def _crawl_group(
+class _OwnershipBits:
+    """Multi-word query-ownership bitsets for one fused batch.
+
+    Query ``q`` owns bit ``q % 64`` of word ``q // 64``; a set of queries is a
+    ``(n_words,)`` ``uint64`` row, and a set per vertex a ``(n, n_words)``
+    array.  All batch-wide bit plumbing (membership matrices, packing a
+    boolean membership back into rows) lives here so :func:`_crawl_fused`
+    reads like the single-word version.
+    """
+
+    __slots__ = ("n_queries", "n_words", "word_of", "mask_of")
+
+    def __init__(self, n_queries: int) -> None:
+        self.n_queries = n_queries
+        self.n_words = (n_queries + GROUP_SIZE - 1) // GROUP_SIZE
+        self.word_of = np.arange(n_queries, dtype=np.int64) // GROUP_SIZE
+        self.mask_of = np.left_shift(
+            np.uint64(1), (np.arange(n_queries, dtype=np.uint64) % np.uint64(GROUP_SIZE))
+        )
+
+    def row_for_query(self, query_index: int) -> np.ndarray:
+        """The ``(n_words,)`` row with only query ``query_index``'s bit set."""
+        row = np.zeros(self.n_words, dtype=np.uint64)
+        row[self.word_of[query_index]] = self.mask_of[query_index]
+        return row
+
+    def owned_matrix(self, rows: np.ndarray) -> np.ndarray:
+        """``(n, n_queries)`` boolean membership from ``(n, n_words)`` rows.
+
+        Expands word by word so the transient ``uint64`` broadcast stays at
+        ``n x 64`` per slab instead of ``n x n_queries`` all at once (the
+        boolean result is what attribution needs and is 8x smaller).
+        """
+        out = np.empty((rows.shape[0], self.n_queries), dtype=bool)
+        for word in range(self.n_words):
+            lo = word * GROUP_SIZE
+            hi = min(lo + GROUP_SIZE, self.n_queries)
+            out[:, lo:hi] = (rows[:, word, None] & self.mask_of[None, lo:hi]) != np.uint64(0)
+        return out
+
+    def pack(self, membership: np.ndarray) -> np.ndarray:
+        """``(n, n_words)`` rows from an ``(n, n_queries)`` boolean membership."""
+        packed = np.zeros((membership.shape[0], self.n_words), dtype=np.uint64)
+        for word in range(self.n_words):
+            lo = word * GROUP_SIZE
+            hi = min(lo + GROUP_SIZE, self.n_queries)
+            slab = membership[:, lo:hi].astype(np.uint64)
+            packed[:, word] = (slab * self.mask_of[None, lo:hi]).sum(axis=1, dtype=np.uint64)
+        return packed
+
+    def query_mask(self, rows: np.ndarray, query_index: int) -> np.ndarray:
+        """Boolean mask of which ``(n, n_words)`` rows contain ``query_index``."""
+        return (rows[:, self.word_of[query_index]] & self.mask_of[query_index]) != np.uint64(0)
+
+
+def _crawl_fused(
     positions: np.ndarray,
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -233,18 +309,20 @@ def _crawl_group(
     start_lists: Sequence[np.ndarray],
     scratch: CrawlScratch,
     n_vertices: int,
-) -> tuple[list[CrawlOutcome], int, int]:
-    """Fused shared-frontier BFS for one group of at most 64 queries.
+) -> tuple[list[CrawlOutcome], int, int, int]:
+    """Fused shared-frontier BFS over the whole batch (any number of queries).
 
-    Returns the per-query outcomes plus the group's unique (fused) vertex and
-    edge work.  The BFS is level-synchronised: level ``k`` of every query runs
-    in the same iteration, so each query's stamp/visit/expand sequence is
-    exactly the one its independent crawl would have executed.
+    Returns the per-query outcomes plus the batch's unique (fused) vertex and
+    edge work and the ownership-row width in words.  The BFS is
+    level-synchronised: level ``k`` of every query runs in the same iteration,
+    so each query's stamp/visit/expand sequence is exactly the one its
+    independent crawl would have executed.
     """
     n_queries = len(start_lists)
-    bit_of = np.left_shift(np.uint64(1), np.arange(n_queries, dtype=np.uint64))
+    bits = _OwnershipBits(n_queries)
     zero = np.uint64(0)
-    stamps, words, epoch = scratch.acquire_batch(n_vertices)
+    stamps, words, epoch = scratch.acquire_batch(n_vertices, bits.n_words)
+    word_columns = words[:, : bits.n_words]
 
     visited_per_query = np.zeros(n_queries, dtype=np.int64)
     edges_per_query = np.zeros(n_queries, dtype=np.int64)
@@ -257,25 +335,27 @@ def _crawl_group(
         """Stamp newly reached (vertex, query) pairs, count them, test positions.
 
         Returns the next union frontier (vertices inside at least one owning
-        box) and its ownership bits.
+        box) and its ownership rows.
         """
         nonlocal unique_visited, visited_per_query
-        previous = np.where(stamps[candidates] == epoch, words[candidates], zero)
+        previous = np.where(
+            (stamps[candidates] == epoch)[:, None], word_columns[candidates], zero
+        )
         new_bits = reach_bits & ~previous
-        fresh = new_bits != zero
+        fresh = (new_bits != zero).any(axis=1)
         candidates = candidates[fresh]
         if candidates.size == 0:
             return candidates, new_bits[fresh]
         new_bits = new_bits[fresh]
-        words[candidates] = previous[fresh] | new_bits
+        word_columns[candidates] = previous[fresh] | new_bits
         stamps[candidates] = epoch
         unique_visited += int(candidates.size)
-        owned = (new_bits[:, None] & bit_of[None, :]) != zero
+        owned = bits.owned_matrix(new_bits)
         visited_per_query += owned.sum(axis=0)
         inside = _inside_per_query(positions, candidates, los, his)
         in_frontier = owned & inside.T
-        frontier_bits = (in_frontier.astype(np.uint64) * bit_of[None, :]).sum(axis=1)
-        keep = frontier_bits != zero
+        frontier_bits = bits.pack(in_frontier)
+        keep = (frontier_bits != zero).any(axis=1)
         frontier = candidates[keep]
         frontier_bits = frontier_bits[keep]
         if frontier.size:
@@ -292,7 +372,9 @@ def _crawl_group(
         starts = np.unique(np.asarray(raw_starts, dtype=np.int64))
         if starts.size:
             id_chunks.append(starts)
-            bit_chunks.append(np.full(starts.size, bit_of[query_index], dtype=np.uint64))
+            bit_chunks.append(
+                np.broadcast_to(bits.row_for_query(query_index), (starts.size, bits.n_words))
+            )
     if id_chunks:
         candidates, reach_bits = _or_duplicates(
             np.concatenate(id_chunks), np.concatenate(bit_chunks)
@@ -303,12 +385,12 @@ def _crawl_group(
             neighbors, degrees = _gather_neighbors(
                 indptr, indices, frontier, scratch, return_counts=True
             )
-            owned = (frontier_bits[:, None] & bit_of[None, :]) != zero
+            owned = bits.owned_matrix(frontier_bits)
             edges_per_query += (degrees[:, None] * owned).sum(axis=0)
             unique_edges += int(neighbors.size)
             if neighbors.size == 0:
                 break
-            neighbor_bits = np.repeat(frontier_bits, degrees)
+            neighbor_bits = np.repeat(frontier_bits, degrees, axis=0)
             candidates, reach_bits = _or_duplicates(neighbors, neighbor_bits)
             frontier, frontier_bits = stamp_and_test(candidates, reach_bits)
 
@@ -317,10 +399,10 @@ def _crawl_group(
         all_bits = np.concatenate(level_bits)
     else:
         all_ids = np.empty(0, dtype=np.int64)
-        all_bits = np.empty(0, dtype=np.uint64)
+        all_bits = np.empty((0, bits.n_words), dtype=np.uint64)
     outcomes = []
     for query_index in range(n_queries):
-        mask = (all_bits & bit_of[query_index]) != zero
+        mask = bits.query_mask(all_bits, query_index)
         outcomes.append(
             CrawlOutcome(
                 np.sort(all_ids[mask]),
@@ -328,7 +410,7 @@ def _crawl_group(
                 int(edges_per_query[query_index]),
             )
         )
-    return outcomes, unique_visited, unique_edges
+    return outcomes, unique_visited, unique_edges, bits.n_words
 
 
 def crawl_many(
@@ -340,11 +422,13 @@ def crawl_many(
 ) -> BatchCrawlOutcome:
     """Fused breadth-first crawl of a whole batch of range queries.
 
-    Queries are processed in groups of up to 64; within a group all BFS levels
-    run lock-step over one *union* frontier, so overlapping boxes share CSR
-    gathers, deduplication, and position tests instead of re-walking the same
-    region once per query.  Results and per-query counters are bit-identical
-    to calling :func:`crawl` once per box with the same start vertices.
+    All BFS levels run lock-step over one *union* frontier, so overlapping
+    boxes share CSR gathers, deduplication, and position tests instead of
+    re-walking the same region once per query.  Ownership is tracked with
+    multi-word per-vertex bitsets (``ceil(n_queries / 64)`` ``uint64`` words),
+    so the whole batch — however large — executes as **one** fused crawl;
+    results and per-query counters are bit-identical to calling :func:`crawl`
+    once per box with the same start vertices.
 
     Parameters
     ----------
@@ -381,23 +465,15 @@ def crawl_many(
     positions = mesh.vertices
     indptr, indices = adjacency.indptr, adjacency.indices
 
-    for group_start in range(0, len(box_list), GROUP_SIZE):
-        group_boxes = box_list[group_start:group_start + GROUP_SIZE]
-        los, his = boxes_to_arrays(group_boxes)
-        outcomes, unique_visited, unique_edges = _crawl_group(
-            positions,
-            indptr,
-            indices,
-            los,
-            his,
-            start_lists[group_start:group_start + GROUP_SIZE],
-            scratch,
-            mesh.n_vertices,
-        )
-        batch.outcomes.extend(outcomes)
-        batch.n_unique_vertices_visited += unique_visited
-        batch.n_unique_edges_followed += unique_edges
-        batch.n_groups += 1
+    los, his = boxes_to_arrays(box_list)
+    outcomes, unique_visited, unique_edges, n_words = _crawl_fused(
+        positions, indptr, indices, los, his, start_lists, scratch, mesh.n_vertices
+    )
+    batch.outcomes.extend(outcomes)
+    batch.n_unique_vertices_visited += unique_visited
+    batch.n_unique_edges_followed += unique_edges
+    batch.n_words = n_words
+    batch.n_groups = 1
 
     for outcome in batch.outcomes:
         batch.n_attributed_vertex_visits += outcome.n_vertices_visited

@@ -21,18 +21,40 @@ happens inside it.
 The walk also accepts multiple start vertices (multi-source): OCTOPUS-CON can
 seed it with several grid candidates and the batched query path can reuse one
 call per query box.
+
+:func:`directed_walk_many` fuses the walks of a whole query batch: all
+per-box beams advance in lockstep, so each round performs **one** CSR
+neighbour gather over the union of the active frontiers and **one**
+vectorised distance kernel over all (query, candidate) pairs — per-query work
+(dedup, strict-improvement test, arg-sorted beam selection) operates on
+segment views of those shared arrays.  Candidate positions are gathered once
+per distinct vertex per round, however many queries reach it, which is the
+batch's *unique* walk work; the per-query counters remain bit-identical to
+sequential :func:`directed_walk` calls and sum to the *attributed* work.  The
+per-query walk state lives in a :class:`~repro.core.scratch.WalkArena` owned
+by the scratch, so the batched path allocates nothing proportional to the
+mesh or the batch.
 """
 
 from __future__ import annotations
 
+import time
+from typing import Sequence
+
 import numpy as np
 
-from ..mesh import Box3D, PolyhedralMesh, points_box_distance
-from .crawler import _gather_neighbors
+from ..mesh import Box3D, PolyhedralMesh, boxes_to_arrays, points_box_distance
+from .crawler import BatchCrawlOutcome, _gather_neighbors
 from .result import QueryCounters
 from .scratch import CrawlScratch
 
-__all__ = ["directed_walk", "WalkOutcome"]
+__all__ = [
+    "directed_walk",
+    "directed_walk_many",
+    "fused_walk_phase",
+    "WalkOutcome",
+    "BatchWalkOutcome",
+]
 
 
 class WalkOutcome:
@@ -58,6 +80,55 @@ class WalkOutcome:
         self.found_id = found_id
         self.n_steps = n_steps
         self.path = path
+
+
+class BatchWalkOutcome:
+    """Per-query outcomes of a fused directed walk plus its work accounting.
+
+    Attributes
+    ----------
+    outcomes:
+        One :class:`WalkOutcome` per query, in order, bit-identical (seed
+        vertex, step count, path, counters) to independent
+        :func:`directed_walk` calls.
+    n_unique_distance_computations:
+        Candidate positions the fused walk actually gathered and evaluated:
+        per lockstep round, each distinct candidate vertex counts once no
+        matter how many queries reached it.  Never larger than the attributed
+        total; strictly smaller when overlapping walks traverse the same
+        vertices in the same round.
+    n_attributed_distance_computations:
+        The same evaluations counted once per owning query — exactly the sum
+        of the per-query ``walk_distance_computations`` counters, which is
+        what the sequential walks would have performed in total.
+    n_rounds:
+        Lockstep iterations executed (shared CSR gathers + shared distance
+        kernels, including the start-distance round); the sequential
+        equivalent is the *sum* of the per-query step counts, the fused walk
+        pays the *maximum*.
+    """
+
+    __slots__ = (
+        "outcomes",
+        "n_unique_distance_computations",
+        "n_attributed_distance_computations",
+        "n_rounds",
+    )
+
+    def __init__(self) -> None:
+        self.outcomes: list[WalkOutcome] = []
+        self.n_unique_distance_computations = 0
+        self.n_attributed_distance_computations = 0
+        self.n_rounds = 0
+
+    def attach_to(self, crawl_batch: BatchCrawlOutcome) -> None:
+        """Copy the walk-phase work counters onto a fused crawl's accounting,
+        so one :class:`~repro.core.crawler.BatchCrawlOutcome` accounts for the
+        whole fused batch (what ``last_fused_crawl`` exposes)."""
+        crawl_batch.n_unique_walk_distance_computations = self.n_unique_distance_computations
+        crawl_batch.n_attributed_walk_distance_computations = (
+            self.n_attributed_distance_computations
+        )
 
 
 def directed_walk(
@@ -141,3 +212,246 @@ def directed_walk(
         counters.walk_vertices_visited += n_steps
         counters.walk_distance_computations += n_distance
     return WalkOutcome(found, n_steps, path)
+
+
+def _pair_distances(
+    positions: np.ndarray,
+    pair_vertices: np.ndarray,
+    pair_owners: np.ndarray,
+    los: np.ndarray,
+    his: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """Box distances of (query, vertex) pairs, gathering each vertex once.
+
+    Evaluates, for every pair, the distance from ``positions[vertex]`` to the
+    owner query's box with the exact arithmetic of
+    :func:`~repro.mesh.points_box_distance` (so results are bit-identical to
+    the sequential walk).  Positions are gathered per *distinct* vertex and
+    fanned back out, which is the fused walk's shared memory work; the count
+    of distinct vertices is returned for the unique-work accounting.
+    """
+    unique_vertices, inverse = np.unique(pair_vertices, return_inverse=True)
+    points = positions[unique_vertices][inverse]
+    delta = np.maximum(los[pair_owners] - points, 0.0) + np.maximum(points - his[pair_owners], 0.0)
+    return np.linalg.norm(delta, axis=1), int(unique_vertices.size)
+
+
+def directed_walk_many(
+    mesh: PolyhedralMesh,
+    boxes: Sequence[Box3D],
+    start_lists: Sequence[int | np.ndarray],
+    counters_list: Sequence[QueryCounters | None] | None = None,
+    max_steps: int | None = None,
+    beam_width: int = 1,
+    scratch: CrawlScratch | None = None,
+) -> BatchWalkOutcome:
+    """Fused greedy beam walks for a whole batch of query boxes.
+
+    All per-box walks advance in lockstep: each round performs one CSR
+    neighbour gather over the union of the active frontiers and one
+    vectorised distance kernel over all (query, candidate) pairs, then every
+    active query selects its next beam from a segment view of the shared
+    arrays.  Seed vertices, step counts, paths and counters are bit-identical
+    to calling :func:`directed_walk` once per box with the same arguments.
+
+    Parameters
+    ----------
+    mesh:
+        Mesh providing adjacency and *current* positions.
+    boxes:
+        Target query boxes.
+    start_lists:
+        One start vertex id — or array of ids (multi-source) — per box; an
+        empty array yields ``WalkOutcome(None, 0, [])`` for that box.
+    counters_list:
+        Optional per-query counter records updated in place (entries may be
+        ``None`` to skip a query's accounting).
+    max_steps / beam_width:
+        As in :func:`directed_walk`, applied to every query.
+    scratch:
+        Reusable arena providing the per-query :class:`WalkArena` rows and
+        gather buffers; a throwaway arena is allocated when omitted.
+    """
+    if beam_width < 1:
+        raise ValueError("beam_width must be at least 1")
+    box_list = list(boxes)
+    if len(start_lists) != len(box_list):
+        raise ValueError(
+            f"directed_walk_many: {len(box_list)} boxes but {len(start_lists)} start lists"
+        )
+    if counters_list is not None and len(counters_list) != len(box_list):
+        raise ValueError(
+            f"directed_walk_many: {len(box_list)} boxes but {len(counters_list)} counter records"
+        )
+    batch = BatchWalkOutcome()
+    if not box_list:
+        return batch
+    if scratch is None:
+        scratch = CrawlScratch()
+
+    adjacency = mesh.adjacency
+    positions = mesh.vertices
+    indptr, indices = adjacency.indptr, adjacency.indices
+    n_vertices = mesh.n_vertices
+    limit = max_steps if max_steps is not None else n_vertices + 1
+    n_queries = len(box_list)
+    los, his = boxes_to_arrays(box_list)
+
+    arena = scratch.acquire_walk(n_queries, beam_width)
+    best_distance = arena.best_distance
+    best_id = arena.best_id
+    found = arena.found
+    n_steps = arena.n_steps
+    n_distance = arena.n_distance
+    active = arena.active
+    frontier = arena.frontier
+    frontier_len = arena.frontier_len
+    best_distance[:n_queries] = np.inf
+    best_id[:n_queries] = -1
+    found[:n_queries] = -1
+    n_steps[:n_queries] = 0
+    n_distance[:n_queries] = 0
+    active[:n_queries] = False
+    frontier_len[:n_queries] = 0
+    paths: list[list[int]] = [[] for _ in range(n_queries)]
+
+    def select_beam(query: int, candidates: np.ndarray, distances: np.ndarray) -> None:
+        """Accept a step for ``query`` from its candidate segment.
+
+        Mirrors the sequential walk's beam update exactly: arg-sorted
+        ``beam_width`` closest candidates, best-so-far update, path append,
+        found/stuck bookkeeping.
+        """
+        order = np.argsort(distances)[:beam_width]
+        chosen = candidates[order]
+        frontier[query, : chosen.size] = chosen
+        frontier_len[query] = chosen.size
+        best_distance[query] = float(distances[order[0]])
+        best_id[query] = int(chosen[0])
+        n_steps[query] += 1
+        paths[query].append(int(chosen[0]))
+        if best_distance[query] == 0.0:
+            found[query] = best_id[query]
+            active[query] = False
+        elif n_steps[query] >= limit:
+            active[query] = False
+
+    # Round 0: every query's deduplicated start vertices, distance-tested in
+    # one fused kernel (each distinct start position gathered once).
+    seed_ids: list[np.ndarray] = []
+    seed_owners: list[np.ndarray] = []
+    for query, raw_starts in enumerate(start_lists):
+        starts = np.unique(np.atleast_1d(np.asarray(raw_starts, dtype=np.int64)))
+        if starts.size == 0:
+            continue
+        active[query] = True
+        seed_ids.append(starts)
+        seed_owners.append(np.full(starts.size, query, dtype=np.int64))
+    if seed_ids:
+        pair_vertices = np.concatenate(seed_ids)
+        pair_owners = np.concatenate(seed_owners)
+        distances, unique_rows = _pair_distances(positions, pair_vertices, pair_owners, los, his)
+        batch.n_unique_distance_computations += unique_rows
+        batch.n_attributed_distance_computations += int(pair_vertices.size)
+        batch.n_rounds += 1
+        offset = 0
+        for starts, owners in zip(seed_ids, seed_owners):
+            query = int(owners[0])
+            segment = distances[offset : offset + starts.size]
+            n_distance[query] = starts.size
+            select_beam(query, starts, segment)
+            offset += starts.size
+
+    # Lockstep rounds: one union gather + one distance kernel per round, then
+    # per-query strict-improvement selection on segment views.
+    while True:
+        active_queries = np.nonzero(active[:n_queries])[0]
+        if active_queries.size == 0:
+            break
+        flat_frontier = np.concatenate(
+            [frontier[query, : frontier_len[query]] for query in active_queries]
+        )
+        frontier_owners = np.repeat(active_queries, frontier_len[active_queries])
+        neighbors, degrees = _gather_neighbors(
+            indptr, indices, flat_frontier, scratch, return_counts=True
+        )
+        if neighbors.size == 0:
+            active[active_queries] = False
+            break
+        neighbor_owners = np.repeat(frontier_owners, degrees)
+        # Deduplicate per (query, vertex): unique keys sort by query then by
+        # vertex id, so each query's segment is exactly its np.unique() set.
+        keys = np.unique(neighbor_owners * np.int64(n_vertices) + neighbors)
+        pair_owners = keys // n_vertices
+        pair_vertices = keys - pair_owners * n_vertices
+        distances, unique_rows = _pair_distances(positions, pair_vertices, pair_owners, los, his)
+        batch.n_unique_distance_computations += unique_rows
+        batch.n_attributed_distance_computations += int(pair_vertices.size)
+        batch.n_rounds += 1
+        segment_sizes = np.bincount(pair_owners, minlength=n_queries)
+        segment_ends = np.cumsum(segment_sizes)
+        for query in active_queries:
+            size = int(segment_sizes[query])
+            if size == 0:
+                # This walker's frontier had no neighbours at all.
+                active[query] = False
+                continue
+            end = int(segment_ends[query])
+            candidates = pair_vertices[end - size : end]
+            segment = distances[end - size : end]
+            n_distance[query] += size
+            improving = segment < best_distance[query]
+            if not improving.any():
+                # No candidate is strictly closer: stuck (Algorithm 1 reports
+                # that the query box does not intersect the mesh).
+                active[query] = False
+                continue
+            select_beam(query, candidates[improving], segment[improving])
+
+    for query in range(n_queries):
+        steps = int(n_steps[query])
+        outcome = WalkOutcome(
+            int(found[query]) if found[query] >= 0 else None, steps, paths[query]
+        )
+        batch.outcomes.append(outcome)
+        if counters_list is not None and counters_list[query] is not None and steps:
+            counters_list[query].walk_vertices_visited += steps
+            counters_list[query].walk_distance_computations += int(n_distance[query])
+    return batch
+
+
+def fused_walk_phase(
+    mesh: PolyhedralMesh,
+    box_list: Sequence[Box3D],
+    walk_indices: Sequence[int],
+    start_ids: Sequence[int | np.ndarray | None],
+    counters_list: Sequence[QueryCounters],
+    scratch: CrawlScratch,
+) -> tuple[list[float], dict[int, np.ndarray], BatchWalkOutcome | None]:
+    """The batched executors' walk phase: one fused walk over selected boxes.
+
+    Runs :func:`directed_walk_many` for the boxes named by ``walk_indices``
+    (whose per-box starts are ``start_ids[i]``), updating their counter
+    records in place.  Returns per-box walk seconds (the shared fused-walk
+    wall-clock apportioned evenly over the boxes that walked, 0.0 elsewhere),
+    the crawl start vertices produced by successful walks (keyed by box
+    index), and the :class:`BatchWalkOutcome` — ``None`` when nothing walked.
+    """
+    walk_times = [0.0] * len(box_list)
+    if not walk_indices:
+        return walk_times, {}, None
+    walk_start = time.perf_counter()
+    batch = directed_walk_many(
+        mesh,
+        [box_list[i] for i in walk_indices],
+        [start_ids[i] for i in walk_indices],
+        [counters_list[i] for i in walk_indices],
+        scratch=scratch,
+    )
+    shared_time = (time.perf_counter() - walk_start) / len(walk_indices)
+    crawl_starts: dict[int, np.ndarray] = {}
+    for index, walk in zip(walk_indices, batch.outcomes):
+        walk_times[index] = shared_time
+        if walk.found_id is not None:
+            crawl_starts[index] = np.asarray([walk.found_id], dtype=np.int64)
+    return walk_times, crawl_starts, batch

@@ -35,7 +35,7 @@ from ..mesh import (
     points_in_boxes,
 )
 from .crawler import BatchCrawlOutcome, crawl, crawl_many
-from .directed_walk import directed_walk
+from .directed_walk import directed_walk, fused_walk_phase
 from .executor import ExecutionStrategy
 from .result import QueryCounters, QueryResult
 from .scratch import CrawlScratch
@@ -183,17 +183,19 @@ class OctopusExecutor(ExecutionStrategy):
         )
 
     def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
-        """Batched Algorithm 1: one broadcasted probe, then one fused crawl.
+        """Batched Algorithm 1: broadcasted probe, fused walks, one fused crawl.
 
         The surface is tested against *all* query boxes in a single NumPy
         pass (chunked to bound the broadcast), which amortises the probe's
-        dispatch overhead across the batch; the directed walks (probe misses
-        only) run per box, and the crawls of the whole batch are fused into
-        one shared-frontier BFS (:func:`~repro.core.crawler.crawl_many`) so
-        overlapping boxes share CSR gathers and position tests.  Results,
-        counters and result ids are identical to sequential :meth:`query`
-        calls; the shared probe and crawl wall-clock is apportioned evenly
-        across the batch.
+        dispatch overhead across the batch; the directed walks of all probe
+        misses advance in lockstep through one fused beam walk
+        (:func:`~repro.core.directed_walk.directed_walk_many`), and the
+        crawls of the whole batch are fused into one shared-frontier BFS
+        (:func:`~repro.core.crawler.crawl_many`) so overlapping boxes share
+        CSR gathers and position tests.  Results, counters and result ids are
+        identical to sequential :meth:`query` calls; the shared probe, walk
+        and crawl wall-clock is apportioned evenly across the batch (walk
+        time across the boxes that walked).
         """
         box_list = list(boxes)
         self.last_fused_crawl = None  # set again below iff this batch fuses
@@ -237,27 +239,33 @@ class OctopusExecutor(ExecutionStrategy):
         # The probe cost is shared by the whole batch; apportion it evenly.
         probe_time = (time.perf_counter() - probe_start) / len(box_list)
 
-        # Phase 2 per box (probe misses only), then phase 3 fused across the batch.
+        # Phase 2 fused across the probe misses, then phase 3 fused across the
+        # whole batch.
         counters_list: list[QueryCounters] = []
-        walk_times: list[float] = []
         crawl_starts: list[np.ndarray] = []
-        for box, start_vertices, closest_id in zip(box_list, start_lists, closest_ids):
+        walk_indices: list[int] = []
+        for index, (start_vertices, closest_id) in enumerate(zip(start_lists, closest_ids)):
             counters = QueryCounters()
             counters.surface_probed += int(probe_ids.size)
             if start_vertices.size == 0 and closest_id is not None:
                 # Mirrors probe(): the closest-vertex pass costs one distance
                 # evaluation per probed vertex.
                 counters.probe_distance_computations += int(probe_ids.size)
-            start_vertices, walk_time = self._walk_for_start(
-                box, start_vertices, closest_id, counters
-            )
+                walk_indices.append(index)
             counters_list.append(counters)
-            walk_times.append(walk_time)
             crawl_starts.append(start_vertices)
+
+        walk_times, walk_starts, walk_batch = fused_walk_phase(
+            mesh, box_list, walk_indices, closest_ids, counters_list, self.scratch
+        )
+        for index, start_vertices in walk_starts.items():
+            crawl_starts[index] = start_vertices
 
         crawl_start = time.perf_counter()
         batch = crawl_many(mesh, box_list, crawl_starts, counters_list, scratch=self.scratch)
         crawl_time = (time.perf_counter() - crawl_start) / len(box_list)
+        if walk_batch is not None:
+            walk_batch.attach_to(batch)
         self.last_fused_crawl = batch
 
         results: list[QueryResult] = []

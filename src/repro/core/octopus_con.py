@@ -21,7 +21,7 @@ import numpy as np
 from ..errors import QueryError
 from ..mesh import Box3D
 from .crawler import BatchCrawlOutcome, crawl, crawl_many
-from .directed_walk import directed_walk
+from .directed_walk import directed_walk, fused_walk_phase
 from .executor import ExecutionStrategy
 from .result import QueryCounters, QueryResult
 from .scratch import CrawlScratch
@@ -135,12 +135,14 @@ class OctopusConExecutor(ExecutionStrategy):
         )
 
     def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
-        """Batched execution: one vectorised grid lookup, then one fused crawl.
+        """Batched execution: vectorised grid lookup, fused walks, fused crawl.
 
         All box centres are located in the stale grid in a single pass (only
         the boxes whose centre cell is empty fall back to the sequential ring
-        search), the directed walks run per box, and the crawls of the whole
-        batch are fused into one shared-frontier BFS
+        search), the directed walks of the whole batch advance in lockstep
+        through one fused beam walk
+        (:func:`~repro.core.directed_walk.directed_walk_many`), and the
+        crawls are fused into one shared-frontier BFS
         (:func:`~repro.core.crawler.crawl_many`) against the shared scratch
         arena.  Results and counters match sequential :meth:`query` calls
         exactly.
@@ -157,8 +159,7 @@ class OctopusConExecutor(ExecutionStrategy):
 
         counters_list: list[QueryCounters] = []
         locate_times: list[float] = []
-        walk_times: list[float] = []
-        crawl_starts: list[np.ndarray] = []
+        start_ids: list[int | None] = []
         for box, hit in zip(box_list, first_hits):
             counters = QueryCounters()
             locate_time = shared_locate_time
@@ -169,15 +170,24 @@ class OctopusConExecutor(ExecutionStrategy):
                 ring_start = time.perf_counter()
                 start_id = self.grid.any_vertex_near(box.center, counters)
                 locate_time += time.perf_counter() - ring_start
-            start_vertices, walk_time = self._walk_for_start(box, start_id, counters)
             counters_list.append(counters)
             locate_times.append(locate_time)
-            walk_times.append(walk_time)
-            crawl_starts.append(start_vertices)
+            start_ids.append(start_id)
+
+        walk_indices = [index for index, start_id in enumerate(start_ids) if start_id is not None]
+        walk_times, walk_starts, walk_batch = fused_walk_phase(
+            mesh, box_list, walk_indices, start_ids, counters_list, self.scratch
+        )
+        crawl_starts = [
+            walk_starts.get(index, np.empty(0, dtype=np.int64))
+            for index in range(len(box_list))
+        ]
 
         crawl_start = time.perf_counter()
         batch = crawl_many(mesh, box_list, crawl_starts, counters_list, scratch=self.scratch)
         crawl_time = (time.perf_counter() - crawl_start) / len(box_list)
+        if walk_batch is not None:
+            walk_batch.attach_to(batch)
         self.last_fused_crawl = batch
 
         results: list[QueryResult] = []

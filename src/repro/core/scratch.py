@@ -15,10 +15,16 @@ CSR neighbour gather slices instead of re-materialising ``np.arange`` per
 frontier expansion.
 
 For the fused multi-query crawl the scratch additionally owns a
-*(vertex, query-bitset)* arena: per vertex, a ``uint64`` word whose bit ``q``
-records "visited by query ``q`` of the current batch", guarded by its own
-epoch-stamp array so that starting a new batch is again a single increment
-(a stale stamp means the word is garbage and is treated as all-zeros).
+*(vertex, query-bitset)* arena: per vertex, a row of ``uint64`` words whose
+bit ``q`` of word ``q // 64`` records "visited by query ``q`` of the current
+batch", guarded by its own epoch-stamp array so that starting a new batch is
+again a single increment (a stale stamp means the row is garbage and is
+treated as all-zeros).  The word axis widens on demand, so one fused crawl
+serves arbitrarily large batches — there is no 64-query ceiling.
+
+The fused directed walk keeps its per-query state (best distance, best
+vertex, step counts, frontier slots) in a :class:`WalkArena` owned by the
+scratch, so batched walks allocate nothing per call either.
 
 A scratch instance is owned by one executor and is **not** thread-safe; two
 concurrent queries must use two scratches.
@@ -28,11 +34,74 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["CrawlScratch"]
+__all__ = ["CrawlScratch", "WalkArena"]
 
 #: stamp value reserved for "never visited" (fresh arenas are zero-filled)
 _NEVER = 0
 _EPOCH_LIMIT = np.iinfo(np.int32).max - 1
+
+
+class WalkArena:
+    """Per-query state arrays for the fused directed walk.
+
+    One row per query of the current batch; all arrays are overwritten by
+    :func:`~repro.core.directed_walk.directed_walk_many` at batch start, so no
+    epoch guard is needed.  ``frontier`` holds up to ``beam_width`` candidate
+    vertices per query (``frontier_len`` of them valid), ``best_distance`` /
+    ``best_id`` the closest vertex seen so far, ``found`` the vertex reached
+    inside the box (-1 while searching), and ``n_steps`` / ``n_distance`` the
+    per-query work counters the sequential walk would have reported.
+    """
+
+    __slots__ = (
+        "best_distance",
+        "best_id",
+        "found",
+        "n_steps",
+        "n_distance",
+        "active",
+        "frontier",
+        "frontier_len",
+    )
+
+    def __init__(self) -> None:
+        self.best_distance = np.empty(0, dtype=np.float64)
+        self.best_id = np.empty(0, dtype=np.int64)
+        self.found = np.empty(0, dtype=np.int64)
+        self.n_steps = np.empty(0, dtype=np.int64)
+        self.n_distance = np.empty(0, dtype=np.int64)
+        self.active = np.empty(0, dtype=bool)
+        self.frontier = np.empty((0, 1), dtype=np.int64)
+        self.frontier_len = np.empty(0, dtype=np.int64)
+
+    def reserve(self, n_queries: int, beam_width: int) -> None:
+        """Grow the per-query rows to cover ``n_queries`` × ``beam_width``."""
+        if self.best_distance.size < n_queries:
+            capacity = max(n_queries, 2 * self.best_distance.size)
+            self.best_distance = np.empty(capacity, dtype=np.float64)
+            self.best_id = np.empty(capacity, dtype=np.int64)
+            self.found = np.empty(capacity, dtype=np.int64)
+            self.n_steps = np.empty(capacity, dtype=np.int64)
+            self.n_distance = np.empty(capacity, dtype=np.int64)
+            self.active = np.empty(capacity, dtype=bool)
+            self.frontier_len = np.empty(capacity, dtype=np.int64)
+        rows, cols = self.frontier.shape
+        if rows < self.best_distance.size or cols < beam_width:
+            self.frontier = np.empty(
+                (self.best_distance.size, max(beam_width, cols)), dtype=np.int64
+            )
+
+    def memory_bytes(self) -> int:
+        return int(
+            self.best_distance.nbytes
+            + self.best_id.nbytes
+            + self.found.nbytes
+            + self.n_steps.nbytes
+            + self.n_distance.nbytes
+            + self.active.nbytes
+            + self.frontier.nbytes
+            + self.frontier_len.nbytes
+        )
 
 
 class CrawlScratch:
@@ -49,15 +118,24 @@ class CrawlScratch:
     since the last query (e.g. after a restructuring step).
     """
 
-    __slots__ = ("_stamps", "_epoch", "_iota", "_batch_stamps", "_batch_words", "_batch_epoch")
+    __slots__ = (
+        "_stamps",
+        "_epoch",
+        "_iota",
+        "_batch_stamps",
+        "_batch_words",
+        "_batch_epoch",
+        "_walk_arena",
+    )
 
     def __init__(self) -> None:
         self._stamps = np.empty(0, dtype=np.int32)
         self._epoch = _NEVER
         self._iota = np.empty(0, dtype=np.int64)
         self._batch_stamps = np.empty(0, dtype=np.int32)
-        self._batch_words = np.empty(0, dtype=np.uint64)
+        self._batch_words = np.empty((0, 1), dtype=np.uint64)
         self._batch_epoch = _NEVER
+        self._walk_arena = WalkArena()
 
     # ------------------------------------------------------------------
     # the visited arena
@@ -95,27 +173,55 @@ class CrawlScratch:
         """Epoch of the most recent :meth:`acquire_batch` (0 before any batch)."""
         return self._batch_epoch
 
-    def acquire_batch(self, n_vertices: int) -> tuple[np.ndarray, np.ndarray, int]:
+    def acquire_batch(
+        self, n_vertices: int, n_words: int = 1
+    ) -> tuple[np.ndarray, np.ndarray, int]:
         """Begin a fused multi-query group; returns ``(stamps, words, epoch)``.
 
-        ``words[v]`` is a ``uint64`` bitset whose bit ``q`` means "vertex ``v``
-        was visited by query ``q`` of the current group" — but only where
-        ``stamps[v] == epoch``; a stale stamp marks the word as garbage from an
+        ``words[v]`` is a row of ``n_words`` ``uint64`` bitset words whose bit
+        ``q % 64`` of word ``q // 64`` means "vertex ``v`` was visited by
+        query ``q`` of the current group" — but only where
+        ``stamps[v] == epoch``; a stale stamp marks the row as garbage from an
         earlier group, to be treated as all-zeros and overwritten.  Like
         :meth:`acquire`, starting a group is a single epoch increment: the
         words are never cleared (``np.empty`` on growth), only the ``int32``
         stamp array pays a bulk clear on growth or on epoch rollover.
+
+        The word axis grows to the widest batch seen so far, so the ownership
+        bitsets have no intrinsic query-count limit; memory scales as
+        ``8 * n_vertices * ceil(n_queries / 64)`` bytes.
         """
-        if self._batch_stamps.size < n_vertices:
-            capacity = max(n_vertices, 2 * self._batch_stamps.size)
+        if n_words < 1:
+            raise ValueError("acquire_batch: n_words must be at least 1")
+        if self._batch_stamps.size < n_vertices or self._batch_words.shape[1] < n_words:
+            if self._batch_stamps.size < n_vertices:
+                capacity = max(n_vertices, 2 * self._batch_stamps.size)
+            else:
+                # Widening only the word axis keeps the current row capacity —
+                # doubling rows is for vertex growth, not wider batches.
+                capacity = self._batch_stamps.size
+            word_capacity = max(n_words, self._batch_words.shape[1])
             self._batch_stamps = np.zeros(capacity, dtype=np.int32)
-            self._batch_words = np.empty(capacity, dtype=np.uint64)
+            self._batch_words = np.empty((capacity, word_capacity), dtype=np.uint64)
             self._batch_epoch = _NEVER
         elif self._batch_epoch >= _EPOCH_LIMIT:
             self._batch_stamps.fill(_NEVER)
             self._batch_epoch = _NEVER
         self._batch_epoch += 1
         return self._batch_stamps, self._batch_words, self._batch_epoch
+
+    # ------------------------------------------------------------------
+    # the fused directed-walk arena
+    # ------------------------------------------------------------------
+    def acquire_walk(self, n_queries: int, beam_width: int = 1) -> WalkArena:
+        """Per-query state rows for a fused directed walk over ``n_queries``.
+
+        The returned arena is reused (and regrown geometrically) across
+        batches; its arrays carry garbage from earlier walks and must be fully
+        initialised by the caller for rows ``[0, n_queries)``.
+        """
+        self._walk_arena.reserve(n_queries, beam_width)
+        return self._walk_arena
 
     # ------------------------------------------------------------------
     # gather buffers
@@ -136,11 +242,14 @@ class CrawlScratch:
             + self._iota.nbytes
             + self._batch_stamps.nbytes
             + self._batch_words.nbytes
+            + self._walk_arena.memory_bytes()
         )
 
     #: steady-state arena bytes per vertex: 4 (visited stamps) + 4 (batch
-    #: stamps) + 8 (uint64 ownership words) — batching is the harness default,
-    #: so both arenas count
+    #: stamps) + 8 (one uint64 ownership word) — batching is the harness
+    #: default, so both arenas count; batches beyond 64 queries widen the
+    #: ownership rows by 8 bytes per vertex per additional 64 queries, which
+    #: ``memory_bytes()`` reflects once such a batch has run
     BYTES_PER_VERTEX = 16
 
     def expected_bytes(self, n_vertices: int) -> int:

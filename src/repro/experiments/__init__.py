@@ -16,8 +16,9 @@ from .harness import (
     per_step_workload_provider,
     run_comparison,
     strategy_suite,
+    work_sharing_rows,
 )
-from .report import format_table, format_value, print_table
+from .report import format_table, format_value, format_work_sharing, print_table
 
 __all__ = [
     "PAPER_COMPARISON",
@@ -29,6 +30,7 @@ __all__ = [
     "fixed_workload_provider",
     "format_table",
     "format_value",
+    "format_work_sharing",
     "make_strategy",
     "neuron_largest",
     "neuron_series",
@@ -36,4 +38,5 @@ __all__ = [
     "print_table",
     "run_comparison",
     "strategy_suite",
+    "work_sharing_rows",
 ]

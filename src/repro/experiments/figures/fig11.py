@@ -16,9 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from ...core import CostModel, OctopusExecutor, calibrate_cost_model
+from ...core import OctopusExecutor, calibrate_cost_model
 from ...baselines import LinearScanExecutor
 from ...workloads import random_query_workload
 from ..datasets import neuron_series

@@ -11,7 +11,6 @@ ordering the paper measures.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 from ...core import OctopusExecutor

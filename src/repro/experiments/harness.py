@@ -33,6 +33,7 @@ __all__ = [
     "make_strategy",
     "run_comparison",
     "comparison_rows",
+    "work_sharing_rows",
     "fixed_workload_provider",
     "per_step_workload_provider",
 ]
@@ -142,6 +143,34 @@ def comparison_rows(report: SimulationReport, baseline: str = "linear-scan") -> 
                 "total_work": strategy_report.total_work(),
                 "speedup_vs_baseline_time": strategy_report.speedup_against(reference),
                 "speedup_vs_baseline_work": strategy_report.speedup_against(reference, use_work=True),
+                "crawl_work_sharing": strategy_report.crawl_work_sharing(),
+                "walk_work_sharing": strategy_report.walk_work_sharing(),
+            }
+        )
+    return rows
+
+
+def work_sharing_rows(report: SimulationReport) -> list[dict]:
+    """Per-strategy fused-work savings: what the batched engines actually did.
+
+    For every strategy, the *attributed* work is what its per-query counters
+    report — exactly what independent sequential queries would have performed
+    — while the *unique* work is what the fused walk/crawl physically
+    executed; their ratio is the work-sharing factor.  Strategies without a
+    fused engine (or runs with batching disabled) report zeros and a factor
+    of 1.0, so the table doubles as a map of which strategies fuse.
+    """
+    rows = []
+    for name, strategy_report in report.strategies.items():
+        rows.append(
+            {
+                "strategy": name,
+                "crawl_attributed_visits": strategy_report.fused_attributed_crawl_visits,
+                "crawl_unique_visits": strategy_report.fused_unique_crawl_visits,
+                "crawl_work_sharing": strategy_report.crawl_work_sharing(),
+                "walk_attributed_distances": strategy_report.fused_attributed_walk_distances,
+                "walk_unique_distances": strategy_report.fused_unique_walk_distances,
+                "walk_work_sharing": strategy_report.walk_work_sharing(),
             }
         )
     return rows

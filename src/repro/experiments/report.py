@@ -8,9 +8,9 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_value", "print_table"]
+__all__ = ["format_table", "format_value", "format_work_sharing", "print_table"]
 
 
 def format_value(value: object, precision: int = 4) -> str:
@@ -45,6 +45,31 @@ def format_table(
     ]
     lines = ([title] if title else []) + [header, separator, *body]
     return "\n".join(lines)
+
+
+#: column order of the fused-work savings table (harness.work_sharing_rows)
+_WORK_SHARING_COLUMNS = (
+    "strategy",
+    "crawl_attributed_visits",
+    "crawl_unique_visits",
+    "crawl_work_sharing",
+    "walk_attributed_distances",
+    "walk_unique_distances",
+    "walk_work_sharing",
+)
+
+
+def format_work_sharing(
+    rows: Sequence[Mapping[str, object]],
+    title: str | None = "Fused-batch work sharing (attributed = sequential-equivalent work)",
+) -> str:
+    """Render the per-strategy fused-work savings table.
+
+    Takes the rows produced by
+    :func:`repro.experiments.harness.work_sharing_rows`; strategies that never
+    fused a batch show zero work and a sharing factor of 1.0.
+    """
+    return format_table(rows, columns=_WORK_SHARING_COLUMNS, title=title, precision=2)
 
 
 def print_table(

@@ -126,7 +126,6 @@ def camel_compress(resolution: int = 32, n_frames: int = 53) -> AnimationSequenc
     mesh = _body_mesh(resolution, "camel-compress")
     base = mesh.vertices.copy()
     z_min = float(base[:, 2].min())
-    z_span = float(base[:, 2].max() - z_min) or 1.0
     frames = []
     for step in range(n_frames):
         progress = step / max(n_frames - 1, 1)

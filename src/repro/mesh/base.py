@@ -15,7 +15,7 @@ and :meth:`PolyhedralMesh.replace_cells` invalidates the caches accordingly.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

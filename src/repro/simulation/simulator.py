@@ -64,11 +64,35 @@ class StrategyReport:
     total_crawl_time: float = 0.0
     total_scan_time: float = 0.0
     total_index_time: float = 0.0
+    # fused-batch work accounting (stays 0 for strategies without a fused
+    # engine or for sequential runs): "attributed" is the work the per-query
+    # counters report — what independent queries would have performed —
+    # "unique" is what the fused walk/crawl actually performed
+    fused_unique_crawl_visits: int = 0
+    fused_attributed_crawl_visits: int = 0
+    fused_unique_crawl_edges: int = 0
+    fused_attributed_crawl_edges: int = 0
+    fused_unique_walk_distances: int = 0
+    fused_attributed_walk_distances: int = 0
 
     @property
     def total_response_time(self) -> float:
         """Query execution plus maintenance (the paper's reported metric)."""
         return self.total_query_time + self.total_maintenance_time
+
+    def crawl_work_sharing(self) -> float:
+        """Attributed / unique crawl work: how many sequential crawls' worth of
+        vertex visits each fused vertex visit served (1.0 = no sharing)."""
+        if self.fused_unique_crawl_visits == 0:
+            return 1.0
+        return self.fused_attributed_crawl_visits / self.fused_unique_crawl_visits
+
+    def walk_work_sharing(self) -> float:
+        """Attributed / unique walk work: distance evaluations served per
+        position actually gathered by the fused walk (1.0 = no sharing)."""
+        if self.fused_unique_walk_distances == 0:
+            return 1.0
+        return self.fused_attributed_walk_distances / self.fused_unique_walk_distances
 
     def total_work(self) -> int:
         """Machine-independent total work (vertex accesses + node visits)."""
@@ -192,6 +216,18 @@ class MeshSimulation:
                 start = time.perf_counter()
                 results = strategy.query_many(boxes)
                 query_time = time.perf_counter() - start
+                fused = getattr(strategy, "last_fused_crawl", None)
+                if fused is not None:
+                    report.fused_unique_crawl_visits += fused.n_unique_vertices_visited
+                    report.fused_attributed_crawl_visits += fused.n_attributed_vertex_visits
+                    report.fused_unique_crawl_edges += fused.n_unique_edges_followed
+                    report.fused_attributed_crawl_edges += fused.n_attributed_edge_follows
+                    report.fused_unique_walk_distances += (
+                        fused.n_unique_walk_distance_computations
+                    )
+                    report.fused_attributed_walk_distances += (
+                        fused.n_attributed_walk_distance_computations
+                    )
             else:
                 results = []
                 for box in boxes:

@@ -18,6 +18,7 @@ reproduction the selectivity (which is scale free) fully determines the boxes.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -88,8 +89,16 @@ def benchmark_by_id(benchmark_id: str) -> Microbenchmark:
 def workload_for_step(
     mesh: PolyhedralMesh, benchmark: Microbenchmark, step: int, seed: int = 0
 ) -> QueryWorkload:
-    """Generate the queries one microbenchmark issues at one time step."""
-    rng = np.random.default_rng(hash((seed, benchmark.benchmark_id, step)) % (2**32))
+    """Generate the queries one microbenchmark issues at one time step.
+
+    The stream is deterministic for a given ``(seed, benchmark, step)``:
+    the seed material avoids Python's ``hash()``, whose string hashing is
+    randomised per process (``PYTHONHASHSEED``) and would make every
+    experiment table differ between runs.
+    """
+    rng = np.random.default_rng(
+        (seed, step, zlib.crc32(benchmark.benchmark_id.encode("utf-8")))
+    )
     n_queries = benchmark.sample_queries_per_step(rng)
     selectivity = benchmark.sample_selectivity(rng)
     return random_query_workload(

@@ -2,16 +2,21 @@
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-# Allow running the tests from a source checkout without installing the package.
-_SRC = Path(__file__).resolve().parents[1] / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+# Run the tests against the source checkout, unless REPRO_TEST_INSTALLED is
+# set (the CI `package` job), in which case the installed package must be
+# importable on its own — the checkout is deliberately NOT added to sys.path
+# so a stale site-packages install can never shadow local edits by accident.
+if not os.environ.get("REPRO_TEST_INSTALLED"):
+    _SRC = Path(__file__).resolve().parents[1] / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
 
 from repro.generators import (  # noqa: E402  (import after sys.path tweak)
     earthquake_mesh,

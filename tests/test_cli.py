@@ -3,7 +3,6 @@
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
-from repro.experiments import figures
 
 
 class TestParser:

@@ -67,7 +67,8 @@ class TestFusedCrawlParity:
         empty = crawl_many(grid_mesh, [], [])
         assert empty.outcomes == [] and empty.n_groups == 0
 
-    def test_batch_larger_than_one_fusion_group(self, grid_mesh):
+    def test_batch_larger_than_one_word_stays_one_fused_group(self, grid_mesh):
+        """>64 queries widen the ownership rows instead of chunking the batch."""
         n_boxes = GROUP_SIZE + 9
         rng = np.random.default_rng(11)
         boxes = [
@@ -76,10 +77,39 @@ class TestFusedCrawlParity:
         starts = _start_sets(grid_mesh, boxes, per_box=1)
         independent = _independent_crawls(grid_mesh, boxes, starts)
         batch = crawl_many(grid_mesh, boxes, starts)
-        assert batch.n_groups == 2
+        assert batch.n_groups == 1
+        assert batch.n_words == 2
         for got, expected in zip(batch.outcomes, independent):
             assert np.array_equal(got.result_ids, expected.result_ids)
             assert got.n_vertices_visited == expected.n_vertices_visited
+
+    def test_multi_word_batch_counters_bit_identical(self, grid_mesh):
+        """Counter parity through the multi-word path, words exceeding two."""
+        n_boxes = 3 * GROUP_SIZE + 5
+        rng = np.random.default_rng(23)
+        boxes = [Box3D.cube(rng.uniform(0.1, 0.9, 3), 0.25) for _ in range(n_boxes)]
+        starts = _start_sets(grid_mesh, boxes, per_box=2)
+        independent = _independent_crawls(grid_mesh, boxes, starts)
+        counters = [QueryCounters() for _ in boxes]
+        batch = crawl_many(grid_mesh, boxes, starts, counters)
+        assert batch.n_words == 4
+        for got, expected, counter in zip(batch.outcomes, independent, counters):
+            assert np.array_equal(got.result_ids, expected.result_ids)
+            assert got.n_vertices_visited == expected.n_vertices_visited
+            assert got.n_edges_followed == expected.n_edges_followed
+            assert counter.crawl_vertices_visited == expected.n_vertices_visited
+            assert counter.crawl_edges_followed == expected.n_edges_followed
+
+    def test_identical_boxes_across_words_pay_once(self, grid_mesh):
+        """Work sharing spans word boundaries: 70 copies cost one crawl."""
+        box = Box3D((0.2, 0.2, 0.2), (0.7, 0.7, 0.7))
+        starts = _start_sets(grid_mesh, [box], per_box=1)[0]
+        single = crawl(grid_mesh, box, starts)
+        n_copies = GROUP_SIZE + 6
+        batch = crawl_many(grid_mesh, [box] * n_copies, [starts] * n_copies)
+        assert batch.n_words == 2
+        assert batch.n_unique_vertices_visited == single.n_vertices_visited
+        assert batch.n_attributed_vertex_visits == n_copies * single.n_vertices_visited
 
     def test_length_mismatch_rejected(self, grid_mesh):
         box = Box3D((0.1, 0.1, 0.1), (0.5, 0.5, 0.5))
@@ -174,6 +204,25 @@ class TestExecutorFusion:
         stamps2, words2, epoch2 = scratch.acquire_batch(200)
         assert stamps2.size >= 200
         assert not (stamps2[:200] == epoch2).any()
+
+    def test_batch_arena_rejects_nonpositive_word_count(self):
+        with pytest.raises(ValueError):
+            CrawlScratch().acquire_batch(8, n_words=0)
+
+    def test_batch_arena_word_axis_grows_and_forgets(self):
+        """Widening the ownership rows (>64-query batch) invalidates old stamps."""
+        scratch = CrawlScratch()
+        stamps, words, epoch = scratch.acquire_batch(16)
+        assert words.ndim == 2 and words.shape[1] == 1
+        stamps[:16] = epoch
+        stamps2, words2, epoch2 = scratch.acquire_batch(16, n_words=3)
+        assert words2.shape[1] >= 3
+        assert not (stamps2[:16] == epoch2).any()
+        # Same-width reacquire keeps the widened arena.
+        stamps3, words3, epoch3 = scratch.acquire_batch(16, n_words=2)
+        assert words3 is words2
+        # Widening only the word axis must not double the row capacity.
+        assert stamps2.size == stamps.size
 
     def test_batch_arena_epoch_rollover_clears_stamps(self):
         scratch = CrawlScratch()

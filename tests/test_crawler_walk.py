@@ -1,7 +1,6 @@
 """Tests for the crawling and directed-walk phases."""
 
 import numpy as np
-import pytest
 
 from repro.core import QueryCounters, crawl, directed_walk
 from repro.mesh import Box3D, points_in_box

@@ -12,12 +12,14 @@ from repro.experiments import (
     fixed_workload_provider,
     format_table,
     format_value,
+    format_work_sharing,
     make_strategy,
     neuron_largest,
     neuron_series,
     per_step_workload_provider,
     run_comparison,
     strategy_suite,
+    work_sharing_rows,
 )
 from repro.simulation import RandomWalkDeformation
 from repro.workloads import random_query_workload
@@ -113,6 +115,55 @@ class TestHarness:
         assert by_name["linear-scan"]["speedup_vs_baseline_time"] == pytest.approx(1.0)
         assert by_name["octopus"]["speedup_vs_baseline_work"] > 1.0
         assert by_name["octopus"]["total_results"] == by_name["linear-scan"]["total_results"]
+
+    def test_work_sharing_surfaces_in_rows_and_table(self):
+        """Batched runs report per-strategy fused-work savings in the output."""
+        mesh = neuron_series("tiny")[0].copy()
+        workload = random_query_workload(mesh, selectivity=0.03, n_queries=6, seed=1)
+        report = run_comparison(
+            mesh=mesh,
+            strategies=strategy_suite(("octopus", "linear-scan")),
+            deformation=RandomWalkDeformation(amplitude=0.0005),
+            n_steps=2,
+            query_provider=fixed_workload_provider(workload),
+            batch_queries=True,
+        )
+        octopus = report["octopus"]
+        # OCTOPUS fused its crawls; the attributed work equals what the
+        # per-query counters reported, and work sharing is a valid ratio.
+        assert octopus.fused_attributed_crawl_visits == octopus.counters.crawl_vertices_visited
+        assert 0 < octopus.fused_unique_crawl_visits <= octopus.fused_attributed_crawl_visits
+        assert octopus.crawl_work_sharing() >= 1.0
+        assert octopus.walk_work_sharing() >= 1.0
+        # The linear scan has no fused engine: zero fused work, factor 1.0.
+        linear = report["linear-scan"]
+        assert linear.fused_unique_crawl_visits == 0
+        assert linear.crawl_work_sharing() == 1.0
+
+        rows = work_sharing_rows(report)
+        by_name = {row["strategy"]: row for row in rows}
+        assert by_name["octopus"]["crawl_work_sharing"] == octopus.crawl_work_sharing()
+        table = format_work_sharing(rows)
+        assert "crawl_work_sharing" in table and "octopus" in table
+        # The comparison rows carry the same ratios into every figure table.
+        comparison = {row["strategy"]: row for row in comparison_rows(report)}
+        assert comparison["octopus"]["crawl_work_sharing"] == octopus.crawl_work_sharing()
+        assert comparison["octopus"]["walk_work_sharing"] == octopus.walk_work_sharing()
+
+    def test_sequential_run_reports_no_fused_work(self):
+        mesh = neuron_series("tiny")[0].copy()
+        workload = random_query_workload(mesh, selectivity=0.02, n_queries=3, seed=2)
+        report = run_comparison(
+            mesh=mesh,
+            strategies=strategy_suite(("octopus",)),
+            deformation=RandomWalkDeformation(amplitude=0.0005),
+            n_steps=1,
+            query_provider=fixed_workload_provider(workload),
+            batch_queries=False,
+        )
+        octopus = report["octopus"]
+        assert octopus.fused_attributed_crawl_visits == 0
+        assert octopus.crawl_work_sharing() == 1.0
 
     def test_comparison_rows_requires_baseline(self):
         mesh = neuron_series("tiny")[0].copy()

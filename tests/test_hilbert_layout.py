@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import GeometryError, MeshError
+from repro.errors import GeometryError
 from repro.mesh import (
     hilbert_distances,
     hilbert_layout,

@@ -1,7 +1,5 @@
 """End-to-end integration tests: full simulations with every strategy agreeing."""
 
-import numpy as np
-import pytest
 
 from repro.errors import ReproError
 from repro.experiments import fixed_workload_provider, run_comparison, strategy_suite

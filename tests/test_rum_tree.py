@@ -1,6 +1,5 @@
 """Tests for the RUM-Tree (memo-based R-tree) baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import LinearScanExecutor

@@ -1,6 +1,5 @@
 """Tests for the simulation driver and its reports."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import LinearScanExecutor

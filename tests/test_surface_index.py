@@ -6,7 +6,7 @@ import pytest
 from repro.core import QueryCounters, SurfaceIndex
 from repro.errors import IndexError_
 from repro.mesh import Box3D
-from repro.simulation import remove_cells, split_cells
+from repro.simulation import remove_cells
 
 
 class TestBuild:
