@@ -21,7 +21,7 @@ import numpy as np
 from repro import Box3D, LinearScanExecutor, OctopusExecutor
 from repro.core import evaluate_surface_approximation
 from repro.generators import neuron_mesh
-from repro.simulation import remove_cells, split_cells
+from repro.simulation import DeformationDelta, remove_cells, split_cells
 from repro.workloads import random_query_workload
 
 
@@ -41,7 +41,9 @@ def restructuring_demo() -> None:
     # Erode the mesh: remove 100 cells, exposing interior vertices.
     eroded, remove_event = remove_cells(mesh, np.arange(mesh.n_cells - 100, mesh.n_cells))
     mesh.replace_cells(eroded.cells)
-    maintenance_seconds = octopus.on_step()
+    # Restructuring without deformation: an empty delta still triggers the
+    # surface-index reconciliation because the connectivity version changed.
+    maintenance_seconds = octopus.on_step(DeformationDelta.empty(mesh.n_vertices))
     print(f"removed 100 cells: surface gained {remove_event.inserted_surface_vertices.size} "
           f"vertices; index reconciled in {maintenance_seconds * 1e3:.2f} ms "
           f"({octopus.maintenance_entries} hash-table operations)")

@@ -32,6 +32,7 @@ from .baselines import (
 )
 from .core import (
     CostModel,
+    DeformationDelta,
     OctopusConExecutor,
     OctopusExecutor,
     QueryCounters,
@@ -57,6 +58,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Box3D",
     "CostModel",
+    "DeformationDelta",
     "ExperimentError",
     "GeometryError",
     "HexahedralMesh",

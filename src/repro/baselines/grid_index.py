@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from ..core.delta import DeformationDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..core.uniform_grid import UniformGrid
@@ -40,7 +41,14 @@ class ThrowawayGridExecutor(ExecutionStrategy):
             raise RuntimeError("grid: prepare() has not been called")
         return self._grid
 
-    def on_step(self) -> float:
+    def on_step(self, delta: DeformationDelta) -> float:
+        """Full-rebuild fallback; skipped entirely when nothing moved.
+
+        The skip is guarded by the built size: a restructuring that changed
+        the vertex set forces a rebuild even on a zero-motion step.
+        """
+        if delta.n_moved == 0 and self.grid.n_points == self.mesh.n_vertices:
+            return 0.0
         elapsed = self.grid.build(self.mesh.vertices)
         self.maintenance_time += elapsed
         self.maintenance_entries += self.mesh.n_vertices

@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.delta import DeformationDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..errors import IndexError_
@@ -40,6 +41,7 @@ class KDTree:
         self.bucket_size = bucket_size
         self.root: _KDNode | None = None
         self.n_nodes = 0
+        self.n_points = 0
         self.build_time = 0.0
 
     def build(self, positions: np.ndarray) -> float:
@@ -47,6 +49,7 @@ class KDTree:
         pts = np.asarray(positions, dtype=np.float64)
         if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
             raise IndexError_("kd-tree build needs a non-empty (n, 3) position array")
+        self.n_points = pts.shape[0]
         self.n_nodes = 0
         self.root = self._build_node(pts, np.arange(pts.shape[0], dtype=np.int64), 0)
         self.build_time = time.perf_counter() - start
@@ -189,7 +192,14 @@ class ThrowawayKDTreeExecutor(ExecutionStrategy):
             raise RuntimeError("kd-tree: prepare() has not been called")
         return self._tree
 
-    def on_step(self) -> float:
+    def on_step(self, delta: DeformationDelta) -> float:
+        """Full-rebuild fallback; skipped entirely when nothing moved.
+
+        The skip is guarded by the built size: a restructuring that changed
+        the vertex set forces a rebuild even on a zero-motion step.
+        """
+        if delta.n_moved == 0 and self.kdtree.n_points == self.mesh.n_vertices:
+            return 0.0
         elapsed = self.kdtree.build(self.mesh.vertices)
         self.maintenance_time += elapsed
         self.maintenance_entries += self.mesh.n_vertices

@@ -22,10 +22,11 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.delta import DeformationDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..mesh import Box3D
-from .rtree import RTree
+from .rtree import RTree, RTreeNode
 
 __all__ = ["LURTreeExecutor"]
 
@@ -72,21 +73,69 @@ class LURTreeExecutor(ExecutionStrategy):
             raise RuntimeError("lur-tree: prepare() has not been called")
         return self._tree
 
-    def on_step(self) -> float:
-        """Lazy maintenance after every vertex position changed in place.
+    def on_step(self, delta: DeformationDelta) -> float:
+        """Lazy maintenance keyed off the step's deformation delta.
 
         Vertices still inside their leaf MBR need nothing.  Vertices slightly
         outside are absorbed by extending the leaf MBR (and its ancestors).
         Vertices that moved far are deleted and reinserted.
+
+        Only *moved* vertices can escape their leaf MBR (every entry ends each
+        step inside its leaf's rectangle), so a sparse delta narrows the check
+        to the moved set — cost proportional to the motion — while a full
+        delta falls back to the classic all-leaves scan.  Both paths find the
+        same escapees, apply the same extensions, and relocate the far movers
+        in the same ascending-id order, leaving bit-identical tree state.
         """
         tree = self.tree
         positions = self.mesh.vertices
-        threshold = self._extension_distance
         start = time.perf_counter()
         touched = 0
+        escapees = np.empty(0, dtype=np.int64)
+        if len(tree._leaf_of) != positions.shape[0]:
+            # Restructuring changed the vertex set — entries appeared or
+            # vanished, which lazy maintenance cannot express: rebuild.
+            tree.bulk_load(positions)
+            touched += positions.shape[0]
+        elif delta.n_moved == 0:
+            pass
+        elif not delta.is_full:
+            escapees, extended = self._check_moved(delta.moved_ids, positions)
+            touched += extended
+        else:
+            escapees, extended = self._check_all_leaves(positions)
+            touched += extended
+        if escapees.size:
+            touched += tree.reinsert(escapees, positions)
+            self.n_reinserts += int(escapees.size)
+        elapsed = time.perf_counter() - start
+        self.maintenance_time += elapsed
+        self.maintenance_entries += touched
+        return elapsed
+
+    def _extend_leaf(self, leaf: RTreeNode, near_pts: np.ndarray) -> None:
+        """Lazy MBR extension: grow ``leaf`` (and ancestors) over ``near_pts``
+        without touching the tree structure."""
+        new_lo = np.minimum(leaf.lo, near_pts.min(axis=0))
+        new_hi = np.maximum(leaf.hi, near_pts.max(axis=0))
+        leaf.lo, leaf.hi = new_lo, new_hi
+        parent = leaf.parent
+        while parent is not None:
+            parent.lo = np.minimum(parent.lo, new_lo)
+            parent.hi = np.maximum(parent.hi, new_hi)
+            parent = parent.parent
+
+    def _check_all_leaves(self, positions: np.ndarray) -> tuple[np.ndarray, int]:
+        """Full-mesh pass: test every entry of every leaf (the delta-blind path).
+
+        Returns the far escapee ids and the number of MBR extensions applied.
+        """
+        threshold = self._extension_distance
+        tree = self.tree
+        extended = 0
+        reinserts: list[np.ndarray] = []
         # Group the containment test by leaf so the inner check is vectorised.
         leaves = {id(leaf): leaf for leaf in tree._leaf_of.values()}
-        reinserts: list[int] = []
         for leaf in leaves.values():
             if not leaf.entries:
                 continue
@@ -100,30 +149,48 @@ class LURTreeExecutor(ExecutionStrategy):
             near = escaped & (distance <= threshold)
             far = escaped & (distance > threshold)
             if near.any():
-                # Lazy MBR extension: grow this leaf (and ancestors) to cover
-                # the nearby movers without touching the tree structure.
-                near_pts = pts[near]
-                new_lo = np.minimum(leaf.lo, near_pts.min(axis=0))
-                new_hi = np.maximum(leaf.hi, near_pts.max(axis=0))
-                leaf.lo, leaf.hi = new_lo, new_hi
-                parent = leaf.parent
-                while parent is not None:
-                    parent.lo = np.minimum(parent.lo, new_lo)
-                    parent.hi = np.maximum(parent.hi, new_hi)
-                    parent = parent.parent
+                self._extend_leaf(leaf, pts[near])
                 self.n_extensions += int(near.sum())
-                touched += int(near.sum())
+                extended += int(near.sum())
             if far.any():
-                reinserts.extend(int(i) for i in ids[far])
-        for entry_id in reinserts:
-            tree.delete(entry_id)
-            tree.insert(entry_id, positions[entry_id])
-        self.n_reinserts += len(reinserts)
-        touched += len(reinserts)
-        elapsed = time.perf_counter() - start
-        self.maintenance_time += elapsed
-        self.maintenance_entries += touched
-        return elapsed
+                reinserts.append(ids[far])
+        escapees = (
+            np.concatenate(reinserts) if reinserts else np.empty(0, dtype=np.int64)
+        )
+        return escapees, extended
+
+    def _check_moved(
+        self, moved_ids: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Delta path: test only the moved entries against their own leaf MBRs.
+
+        One vectorised overshoot evaluation over the moved set, then MBR
+        extensions grouped by leaf exactly as the full scan would have applied
+        them (unmoved entries sit at overshoot zero, so the decisions match).
+        """
+        threshold = self._extension_distance
+        tree = self.tree
+        leaf_refs = [tree._leaf_of[int(i)] for i in moved_ids]
+        lo = np.array([leaf.lo for leaf in leaf_refs])
+        hi = np.array([leaf.hi for leaf in leaf_refs])
+        pts = positions[moved_ids]
+        overshoot = np.maximum(lo - pts, 0.0) + np.maximum(pts - hi, 0.0)
+        distance = np.linalg.norm(overshoot, axis=1)
+        escaped = distance > 0.0
+        extended = 0
+        if not escaped.any():
+            return np.empty(0, dtype=np.int64), extended
+        near = escaped & (distance <= threshold)
+        if near.any():
+            by_leaf: dict[int, tuple[RTreeNode, list[int]]] = {}
+            for row in np.nonzero(near)[0]:
+                leaf = leaf_refs[int(row)]
+                by_leaf.setdefault(id(leaf), (leaf, []))[1].append(int(row))
+            for leaf, rows in by_leaf.values():
+                self._extend_leaf(leaf, pts[rows])
+                self.n_extensions += len(rows)
+                extended += len(rows)
+        return moved_ids[escaped & ~near], extended
 
     # ------------------------------------------------------------------
     # querying

@@ -15,6 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.delta import DeformationDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..errors import IndexError_
@@ -43,6 +44,7 @@ class Octree:
         self.max_depth = max_depth
         self.root: _OctreeNode | None = None
         self.n_nodes = 0
+        self.n_points = 0
         self.build_time = 0.0
 
     def build(self, positions: np.ndarray) -> float:
@@ -52,6 +54,7 @@ class Octree:
             raise IndexError_("octree build needs a non-empty (n, 3) position array")
         lo = pts.min(axis=0)
         hi = pts.max(axis=0)
+        self.n_points = pts.shape[0]
         self.n_nodes = 0
         self.root = self._build_node(pts, np.arange(pts.shape[0], dtype=np.int64), lo, hi, 0)
         self.build_time = time.perf_counter() - start
@@ -201,8 +204,17 @@ class ThrowawayOctreeExecutor(ExecutionStrategy):
             raise RuntimeError("octree: prepare() has not been called")
         return self._octree
 
-    def on_step(self) -> float:
-        """Throw the old tree away and rebuild it on the new positions."""
+    def on_step(self, delta: DeformationDelta) -> float:
+        """Throw the old tree away and rebuild it on the new positions.
+
+        A throwaway index has no incremental path — its full-rebuild fallback
+        *is* the strategy — but a delta reporting zero moved vertices skips
+        the rebuild entirely (the old tree is still exact).  The skip is
+        guarded by the built size: a restructuring that changed the vertex
+        set forces a rebuild even on a zero-motion step.
+        """
+        if delta.n_moved == 0 and self.octree.n_points == self.mesh.n_vertices:
+            return 0.0
         elapsed = self.octree.build(self.mesh.vertices)
         self.maintenance_time += elapsed
         self.maintenance_entries += self.mesh.n_vertices

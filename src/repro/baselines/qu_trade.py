@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.delta import DeformationDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..errors import IndexError_
@@ -87,30 +88,54 @@ class QUTradeExecutor(ExecutionStrategy):
             raise IndexError_("invalid tuning parameters")
         self._window = max(self._window, per_step_displacement / target_update_fraction)
 
-    def on_step(self) -> float:
-        """Reinsert only the vertices that escaped their leaf's grace window."""
+    def on_step(self, delta: DeformationDelta) -> float:
+        """Reinsert only the vertices that escaped their leaf's grace window.
+
+        Every entry ends a step inside its leaf's window (escapees are
+        reinserted exactly, and tightened MBRs still cover their remaining
+        entries), so only *moved* vertices can escape: a sparse delta narrows
+        the window check to the moved set, a full delta falls back to the
+        all-leaves scan.  Both paths find the same escapees and relocate them
+        in ascending-id order, leaving bit-identical tree state.
+        """
         tree = self.tree
         positions = self.mesh.vertices
         window = self._window
         start = time.perf_counter()
-        moved = 0
-        leaves = {id(leaf): leaf for leaf in tree._leaf_of.values()}
-        escapees: list[int] = []
-        for leaf in leaves.values():
-            if not leaf.entries:
-                continue
-            ids = np.asarray(leaf.entries, dtype=np.int64)
-            pts = positions[ids]
-            inside = np.all((pts >= leaf.lo - window) & (pts <= leaf.hi + window), axis=1)
-            if not inside.all():
-                escapees.extend(int(i) for i in ids[~inside])
-        for entry_id in escapees:
-            tree.delete(entry_id)
-            tree.insert(entry_id, positions[entry_id])
-            moved += 1
+        touched = 0
+        if len(tree._leaf_of) != positions.shape[0]:
+            # Restructuring changed the vertex set: rebuild outright.
+            tree.bulk_load(positions)
+            touched += positions.shape[0]
+            escapees = np.empty(0, dtype=np.int64)
+        elif delta.n_moved == 0:
+            escapees = np.empty(0, dtype=np.int64)
+        elif not delta.is_full:
+            moved_ids = delta.moved_ids
+            lo = np.array([tree._leaf_of[int(i)].lo for i in moved_ids])
+            hi = np.array([tree._leaf_of[int(i)].hi for i in moved_ids])
+            pts = positions[moved_ids]
+            inside = np.all((pts >= lo - window) & (pts <= hi + window), axis=1)
+            escapees = moved_ids[~inside]
+        else:
+            leaves = {id(leaf): leaf for leaf in tree._leaf_of.values()}
+            pieces: list[np.ndarray] = []
+            for leaf in leaves.values():
+                if not leaf.entries:
+                    continue
+                ids = np.asarray(leaf.entries, dtype=np.int64)
+                pts = positions[ids]
+                inside = np.all(
+                    (pts >= leaf.lo - window) & (pts <= leaf.hi + window), axis=1
+                )
+                if not inside.all():
+                    pieces.append(ids[~inside])
+            escapees = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        if escapees.size:
+            touched += tree.reinsert(escapees, positions)
         elapsed = time.perf_counter() - start
         self.maintenance_time += elapsed
-        self.maintenance_entries += moved
+        self.maintenance_entries += touched
         return elapsed
 
     # ------------------------------------------------------------------

@@ -204,6 +204,23 @@ class RTree:
         del self._leaf_of[int(entry_id)]
         self._tighten_upwards(leaf)
 
+    def reinsert(self, entry_ids: np.ndarray, positions: np.ndarray) -> int:
+        """Relocate a batch of entries: delete + insert each at its new position.
+
+        The entries are processed in ascending id order regardless of the
+        order given, so delta-keyed incremental maintenance and a full-scan
+        pass that found the same escapee set mutate the tree through the
+        *identical* operation sequence — leaving bit-identical tree structure
+        and therefore bit-identical query traversals and counters.  Returns
+        the number of entries relocated.
+        """
+        ids = np.sort(np.asarray(entry_ids, dtype=np.int64))
+        pts = np.asarray(positions)
+        for entry_id in ids:
+            self.delete(int(entry_id))
+            self.insert(int(entry_id), pts[int(entry_id)])
+        return int(ids.size)
+
     def insert(self, entry_id: int, point: np.ndarray) -> int:
         """Insert an entry at ``point``; returns the number of nodes visited."""
         root = self._require_built()

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.delta import DeformationDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..errors import IndexError_
@@ -95,14 +96,32 @@ class RUMTreeExecutor(ExecutionStrategy):
         """Entries invalidated by a newer version but not yet garbage collected."""
         return self._n_obsolete
 
-    def on_step(self) -> float:
-        """Insert every vertex's new position and invalidate its old entry."""
+    def on_step(self, delta: DeformationDelta) -> float:
+        """Insert each moved vertex's new position and invalidate its old entry.
+
+        The memo protocol only requires an entry for positions that *changed*
+        — an unmoved vertex's latest entry still stores its current position —
+        so a sparse delta inserts (and obsoletes) only the moved vertices,
+        which is where the RUM-Tree stops degenerating to "re-insert the whole
+        dataset each step".  A full delta reproduces exactly that degenerate
+        behaviour (Section II-A of the OCTOPUS paper), and either way query
+        results equal the exact current-position answer.
+        """
         start = time.perf_counter()
         mesh = self.mesh
         n = mesh.n_vertices
         touched = 0
 
-        if self._n_obsolete >= self.garbage_threshold * n:
+        if self._memo.size != n:
+            # Restructuring changed the vertex set: rebuild outright (this
+            # must run even on a zero-motion step).
+            self._rebuild_from_current()
+            touched += n
+        elif delta.n_moved == 0:
+            # Rest step: no new entries, no new garbage — even an overdue
+            # garbage collection can wait for the next active step.
+            pass
+        elif self._n_obsolete >= self.garbage_threshold * n:
             # Garbage collection: reclaim all obsolete entries at once by
             # rebuilding from the current positions (the cheapest cleaner for
             # an all-objects-moved workload).
@@ -110,20 +129,20 @@ class RUMTreeExecutor(ExecutionStrategy):
             self.n_garbage_collections += 1
             touched += n
         else:
+            moved = delta.ids()
             current = mesh.vertices
+            new_positions = current if delta.is_full else current[moved]
             first_new_key = self._stored_positions.shape[0]
-            self._stored_positions = np.vstack([self._stored_positions, current])
-            self._entry_vertex = np.concatenate(
-                [self._entry_vertex, np.arange(n, dtype=np.int64)]
-            )
+            self._stored_positions = np.vstack([self._stored_positions, new_positions])
+            self._entry_vertex = np.concatenate([self._entry_vertex, moved])
             # Old entries become obsolete; the memo now points at the new keys.
-            self._n_obsolete += n
-            self._memo = first_new_key + np.arange(n, dtype=np.int64)
+            self._n_obsolete += int(moved.size)
+            self._memo[moved] = first_new_key + np.arange(moved.size, dtype=np.int64)
             tree = self.tree
             tree._positions = self._stored_positions
-            for vertex_id in range(n):
-                tree.insert(first_new_key + vertex_id, current[vertex_id])
-            touched += n
+            for offset, vertex_id in enumerate(moved):
+                tree.insert(first_new_key + offset, current[vertex_id])
+            touched += int(moved.size)
 
         elapsed = time.perf_counter() - start
         self.maintenance_time += elapsed

@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 
 from .experiments import format_table
 from .experiments import figures as figure_drivers
+from .experiments.harness import sparse_maintenance_rows
 
 __all__ = ["EXPERIMENTS", "build_parser", "run_experiment", "main"]
 
@@ -92,6 +93,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[str], list[dict]], str]] = {
     "figure15": (
         lambda profile: figure_drivers.figure15_animation(profile),
         "Figure 15 — deforming mesh query performance",
+    ),
+    "sparse-maintenance": (
+        lambda profile: sparse_maintenance_rows(profile),
+        "Sparse deformation — delta-keyed maintenance ledger",
     ),
 }
 

@@ -57,6 +57,18 @@ __all__ = ["crawl", "crawl_many", "CrawlOutcome", "BatchCrawlOutcome"]
 #: than this widen the per-vertex ownership row instead of being chunked
 GROUP_SIZE = 64
 
+#: cap on the (candidates x queries) attribution transients one fused-crawl
+#: level materialises (boolean membership matrices and their int64 edge
+#: products); the candidate axis is chunked to stay under it, so
+#: multi-thousand-query batches on large meshes keep a bounded scratch
+#: footprint instead of allocating n_frontier x n_queries at once
+_ATTRIBUTION_BUDGET = 4_000_000
+
+
+def _attribution_chunk(n_queries: int) -> int:
+    """Candidate-axis chunk size keeping one attribution transient under budget."""
+    return max(1, _ATTRIBUTION_BUDGET // max(n_queries, 1))
+
 
 class CrawlOutcome:
     """Vertices retrieved by a crawl plus the work it performed."""
@@ -335,7 +347,12 @@ def _crawl_fused(
         """Stamp newly reached (vertex, query) pairs, count them, test positions.
 
         Returns the next union frontier (vertices inside at least one owning
-        box) and its ownership rows.
+        box) and its ownership rows.  The per-query attribution and the
+        position tests run in candidate-axis chunks so the expanded
+        ``(candidates, n_queries)`` boolean transients stay under
+        ``_ATTRIBUTION_BUDGET`` however large the batch is; the accumulated
+        counters and the resulting frontier are identical to one unchunked
+        pass.
         """
         nonlocal unique_visited, visited_per_query
         previous = np.where(
@@ -350,17 +367,29 @@ def _crawl_fused(
         word_columns[candidates] = previous[fresh] | new_bits
         stamps[candidates] = epoch
         unique_visited += int(candidates.size)
-        owned = bits.owned_matrix(new_bits)
-        visited_per_query += owned.sum(axis=0)
-        inside = _inside_per_query(positions, candidates, los, his)
-        in_frontier = owned & inside.T
-        frontier_bits = bits.pack(in_frontier)
-        keep = (frontier_bits != zero).any(axis=1)
-        frontier = candidates[keep]
-        frontier_bits = frontier_bits[keep]
-        if frontier.size:
+        chunk = _attribution_chunk(n_queries)
+        frontier_pieces: list[np.ndarray] = []
+        bit_pieces: list[np.ndarray] = []
+        for lo in range(0, candidates.size, chunk):
+            hi = lo + chunk
+            chunk_candidates = candidates[lo:hi]
+            owned = bits.owned_matrix(new_bits[lo:hi])
+            visited_per_query += owned.sum(axis=0)
+            inside = _inside_per_query(positions, chunk_candidates, los, his)
+            in_frontier = owned & inside.T
+            chunk_bits = bits.pack(in_frontier)
+            keep = (chunk_bits != zero).any(axis=1)
+            if keep.any():
+                frontier_pieces.append(chunk_candidates[keep])
+                bit_pieces.append(chunk_bits[keep])
+        if frontier_pieces:
+            frontier = np.concatenate(frontier_pieces)
+            frontier_bits = np.concatenate(bit_pieces)
             level_ids.append(frontier)
             level_bits.append(frontier_bits)
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+            frontier_bits = np.empty((0, bits.n_words), dtype=np.uint64)
         return frontier, frontier_bits
 
     # Level 0: each query's deduplicated start vertices, merged into one
@@ -385,8 +414,14 @@ def _crawl_fused(
             neighbors, degrees = _gather_neighbors(
                 indptr, indices, frontier, scratch, return_counts=True
             )
-            owned = bits.owned_matrix(frontier_bits)
-            edges_per_query += (degrees[:, None] * owned).sum(axis=0)
+            # Edge attribution in frontier-axis chunks: the expanded
+            # (frontier, n_queries) int64 product is the largest transient of
+            # the fused crawl, so it is the most important one to bound.
+            chunk = _attribution_chunk(n_queries)
+            for lo in range(0, frontier.size, chunk):
+                hi = lo + chunk
+                owned = bits.owned_matrix(frontier_bits[lo:hi])
+                edges_per_query += (degrees[lo:hi, None] * owned).sum(axis=0)
             unique_edges += int(neighbors.size)
             if neighbors.size == 0:
                 break

@@ -1,0 +1,150 @@
+"""Deformation deltas: "what moved" as a first-class value.
+
+The paper's headline metric is the total query response time *including* index
+maintenance on dynamic meshes.  The simulation→strategy contract therefore
+threads a :class:`DeformationDelta` through every time step: each
+:meth:`~repro.simulation.deformation.DeformationModel.apply` returns one, and
+every :meth:`~repro.core.executor.ExecutionStrategy.on_step` consumes it, so a
+strategy can pay maintenance proportional to the *motion* instead of the mesh
+size when only part of the mesh deformed.
+
+A delta is one of three shapes:
+
+* **full** — (almost) every vertex moved, the classic mesh-simulation workload
+  of Section III-A.  :meth:`DeformationDelta.full` is the cheap fast path: no
+  id array and no position copies are materialised, consumers branch on
+  :attr:`is_full` and fall back to their whole-mesh maintenance.
+* **sparse** — an explicit set of moved vertex ids with their old and new
+  positions and the dirty AABB covering both.  Strategies with incremental
+  maintenance (grid relocation, moved-only R-tree checks, moved-only RUM
+  inserts) key off exactly this.
+* **empty** — a sparse delta with zero moved vertices (e.g. a rest step of a
+  pulsed workload); maintenance is skipped entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..mesh import Box3D
+
+__all__ = ["DeformationDelta"]
+
+
+class DeformationDelta:
+    """Description of one deformation step's vertex motion.
+
+    Attributes
+    ----------
+    n_vertices:
+        Total vertex count of the mesh when the delta was emitted.
+    moved_ids:
+        Sorted ``int64`` ids of the vertices whose position changed, or
+        ``None`` for a full delta (every vertex treated as moved).
+    old_positions / new_positions:
+        ``(n_moved, 3)`` positions of the moved vertices before and after the
+        step, aligned with :attr:`moved_ids`; ``None`` on the full fast path
+        (consumers read current positions straight from the mesh).
+    dirty_box:
+        Axis-aligned box covering the old *and* new positions of every moved
+        vertex — the region whose spatial-index content can have changed.
+        ``None`` when nothing moved or on the full fast path.
+    """
+
+    __slots__ = ("n_vertices", "moved_ids", "old_positions", "new_positions", "dirty_box")
+
+    def __init__(
+        self,
+        n_vertices: int,
+        moved_ids: np.ndarray | None,
+        old_positions: np.ndarray | None = None,
+        new_positions: np.ndarray | None = None,
+        dirty_box: Box3D | None = None,
+    ) -> None:
+        self.n_vertices = int(n_vertices)
+        self.moved_ids = moved_ids
+        self.old_positions = old_positions
+        self.new_positions = new_positions
+        self.dirty_box = dirty_box
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def full(cls, n_vertices: int) -> "DeformationDelta":
+        """The cheap whole-mesh fast path: every vertex is treated as moved.
+
+        Nothing proportional to the mesh is allocated; :attr:`moved_ids`
+        stays ``None`` and consumers branch on :attr:`is_full`.
+        """
+        return cls(n_vertices, None)
+
+    @classmethod
+    def empty(cls, n_vertices: int) -> "DeformationDelta":
+        """A step in which no vertex moved (maintenance can be skipped)."""
+        return cls(n_vertices, np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def sparse(
+        cls,
+        n_vertices: int,
+        moved_ids: np.ndarray,
+        old_positions: np.ndarray,
+        new_positions: np.ndarray,
+    ) -> "DeformationDelta":
+        """An explicit moved set; ids are sorted (positions re-aligned) and the
+        dirty AABB is derived from the union of old and new positions."""
+        ids = np.asarray(moved_ids, dtype=np.int64)
+        old = np.asarray(old_positions, dtype=np.float64)
+        new = np.asarray(new_positions, dtype=np.float64)
+        if ids.ndim != 1 or old.shape != (ids.size, 3) or new.shape != (ids.size, 3):
+            raise SimulationError(
+                "sparse delta needs (k,) moved ids with aligned (k, 3) old/new positions"
+            )
+        if ids.size == 0:
+            return cls.empty(n_vertices)
+        if ids.size > 1 and not np.all(ids[1:] > ids[:-1]):
+            order = np.argsort(ids, kind="stable")
+            ids = ids[order]
+            if ids.size > 1 and not np.all(ids[1:] > ids[:-1]):
+                raise SimulationError("sparse delta moved ids must be unique")
+            old = old[order]
+            new = new[order]
+        lo = np.minimum(old.min(axis=0), new.min(axis=0))
+        hi = np.maximum(old.max(axis=0), new.max(axis=0))
+        return cls(n_vertices, ids, old, new, Box3D(lo, hi))
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        """True on the whole-mesh fast path (no explicit moved set)."""
+        return self.moved_ids is None
+
+    @property
+    def n_moved(self) -> int:
+        """Number of vertices that moved (``n_vertices`` on the full path)."""
+        if self.moved_ids is None:
+            return self.n_vertices
+        return int(self.moved_ids.size)
+
+    def ids(self) -> np.ndarray:
+        """The moved ids as a sorted array (materialises ``arange`` when full)."""
+        if self.moved_ids is None:
+            return np.arange(self.n_vertices, dtype=np.int64)
+        return self.moved_ids
+
+    def as_full(self) -> "DeformationDelta":
+        """This step viewed through the whole-mesh fast path.
+
+        The full-recompute reference of the delta-parity suite and the
+        benchmark's full-maintenance contender consume exactly this: the same
+        mesh state, with the motion information discarded.
+        """
+        return DeformationDelta.full(self.n_vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        shape = "full" if self.is_full else f"sparse[{self.n_moved}]"
+        return f"DeformationDelta({shape}, n_vertices={self.n_vertices})"

@@ -43,7 +43,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..mesh import Box3D, PolyhedralMesh, boxes_to_arrays, points_box_distance
+from ..mesh import Box3D, PolyhedralMesh, boxes_to_arrays, csr_gather, points_box_distance
 from .crawler import BatchCrawlOutcome, _gather_neighbors
 from .result import QueryCounters
 from .scratch import CrawlScratch
@@ -106,6 +106,13 @@ class BatchWalkOutcome:
         kernels, including the start-distance round); the sequential
         equivalent is the *sum* of the per-query step counts, the fused walk
         pays the *maximum*.
+    n_unique_csr_gather_entries / n_attributed_csr_gather_entries:
+        Adjacency entries the fused walk's CSR gathers physically read vs.
+        what per-query gathers would have read: per round, the frontier is
+        deduplicated *across queries* before the gather, so a vertex that
+        sits on several queries' beams has its neighbour slice gathered once
+        for all of them.  Equal when no beams coincide; strictly smaller when
+        overlapping walks travel the same corridor.
     """
 
     __slots__ = (
@@ -113,6 +120,8 @@ class BatchWalkOutcome:
         "n_unique_distance_computations",
         "n_attributed_distance_computations",
         "n_rounds",
+        "n_unique_csr_gather_entries",
+        "n_attributed_csr_gather_entries",
     )
 
     def __init__(self) -> None:
@@ -120,6 +129,8 @@ class BatchWalkOutcome:
         self.n_unique_distance_computations = 0
         self.n_attributed_distance_computations = 0
         self.n_rounds = 0
+        self.n_unique_csr_gather_entries = 0
+        self.n_attributed_csr_gather_entries = 0
 
     def attach_to(self, crawl_batch: BatchCrawlOutcome) -> None:
         """Copy the walk-phase work counters onto a fused crawl's accounting,
@@ -372,12 +383,23 @@ def directed_walk_many(
             [frontier[query, : frontier_len[query]] for query in active_queries]
         )
         frontier_owners = np.repeat(active_queries, frontier_len[active_queries])
-        neighbors, degrees = _gather_neighbors(
-            indptr, indices, flat_frontier, scratch, return_counts=True
+        # Share CSR gathers *across* queries: the union frontier is
+        # deduplicated first, each distinct vertex's neighbour slice is
+        # gathered once, and the per-entry views are fanned back out with a
+        # second (cheap, index-space) CSR gather over the unique slices.
+        unique_frontier, inverse = np.unique(flat_frontier, return_inverse=True)
+        unique_neighbors, unique_degrees = _gather_neighbors(
+            indptr, indices, unique_frontier, scratch, return_counts=True
         )
-        if neighbors.size == 0:
+        if unique_neighbors.size == 0:
             active[active_queries] = False
             break
+        unique_offsets = np.concatenate([[0], np.cumsum(unique_degrees)])
+        neighbors, degrees = csr_gather(
+            unique_offsets, unique_neighbors, inverse, ramp=scratch.iota
+        )
+        batch.n_unique_csr_gather_entries += int(unique_neighbors.size)
+        batch.n_attributed_csr_gather_entries += int(neighbors.size)
         neighbor_owners = np.repeat(frontier_owners, degrees)
         # Deduplicate per (query, vertex): unique keys sort by query then by
         # vertex id, so each query's segment is exactly its np.unique() set.

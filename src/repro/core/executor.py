@@ -8,8 +8,11 @@ Figure 1(e):
    (preprocessing such as building the surface index or the initial R-tree;
    reported separately, not part of query response time, as in Section V-A);
 2. :meth:`ExecutionStrategy.on_step` — after every simulation step has
-   overwritten the vertex positions (index maintenance or rebuild; *included*
-   in the total query response time, as in Section V-A);
+   updated the vertex positions (index maintenance or rebuild; *included*
+   in the total query response time, as in Section V-A).  The step's
+   :class:`~repro.core.delta.DeformationDelta` — which vertices moved, where
+   from and where to — is passed in, so strategies with incremental
+   maintenance pay a cost proportional to the motion, not the mesh size;
 3. :meth:`ExecutionStrategy.query` — once per monitoring range query.
 """
 
@@ -22,6 +25,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..mesh import Box3D, PolyhedralMesh
+from .delta import DeformationDelta
 from .result import QueryCounters, QueryResult
 
 __all__ = ["ExecutionStrategy"]
@@ -64,11 +68,21 @@ class ExecutionStrategy(ABC):
         """Hook for subclasses: build one-time structures, return seconds spent."""
         return 0.0
 
-    def on_step(self) -> float:
-        """React to the simulation having updated all vertex positions in place.
+    def on_step(self, delta: DeformationDelta) -> float:
+        """React to the simulation having updated vertex positions in place.
+
+        ``delta`` describes the step's motion (moved vertex ids, old/new
+        positions, dirty AABB — or the cheap whole-mesh fast path, see
+        :class:`~repro.core.delta.DeformationDelta`).  Strategies with
+        incremental maintenance key their work off it; strategies that
+        rebuild may still skip the rebuild entirely when ``delta.n_moved``
+        is zero.  **Contract:** incremental maintenance must leave the index
+        able to answer every query with results bit-identical to a full
+        recomputation (enforced by ``tests/test_maintenance_parity.py``).
 
         Returns the maintenance seconds spent for this step; the default is a
-        no-op (OCTOPUS and the linear scan need no maintenance).
+        no-op (OCTOPUS and the linear scan need no per-deformation
+        maintenance).
         """
         return 0.0
 

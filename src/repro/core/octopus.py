@@ -28,13 +28,13 @@ import numpy as np
 from ..errors import QueryError
 from ..mesh import (
     Box3D,
-    PolyhedralMesh,
     box_batch_chunk,
     boxes_to_arrays,
     points_boxes_distance_sq,
     points_in_boxes,
 )
 from .crawler import BatchCrawlOutcome, crawl, crawl_many
+from .delta import DeformationDelta
 from .directed_walk import directed_walk, fused_walk_phase
 from .executor import ExecutionStrategy
 from .result import QueryCounters, QueryResult
@@ -104,13 +104,16 @@ class OctopusExecutor(ExecutionStrategy):
         """True when the probe examines only a sample of the surface."""
         return self.surface_sample_fraction is not None and self.surface_sample_fraction < 1.0
 
-    def on_step(self) -> float:
+    def on_step(self, delta: DeformationDelta) -> float:
         """Maintenance after a simulation step.
 
-        Mesh deformation requires nothing.  If the mesh was restructured since
-        the index was built, the surface index is reconciled with insert and
-        delete operations (the paper's hash-table maintenance) and the time is
-        charged as maintenance.
+        Mesh *deformation* requires nothing, however many vertices the delta
+        reports moved: the surface index stores ids, not positions.  If the
+        mesh was restructured since the index was built, the surface index is
+        reconciled with insert and delete operations (the paper's hash-table
+        maintenance) and the time is charged as maintenance; localized
+        restructurings can narrow that reconciliation via
+        :meth:`SurfaceIndex.refresh_from_mesh`'s ``dirty_ids``.
         """
         if self._surface_index is None or not self._surface_index.is_stale():
             return 0.0

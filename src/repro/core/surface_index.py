@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import IndexError_
 from ..mesh import Box3D, PolyhedralMesh, points_boxes_distance_sq, points_in_box
 from .result import QueryCounters
+from .scratch import CrawlScratch
 
 __all__ = ["SurfaceIndex", "SurfaceProbeOutcome"]
 
@@ -125,19 +126,48 @@ class SurfaceIndex:
             self._ids_cache = None
         return removed
 
-    def refresh_from_mesh(self) -> tuple[int, int]:
+    def refresh_from_mesh(
+        self,
+        dirty_ids: np.ndarray | None = None,
+        scratch: CrawlScratch | None = None,
+    ) -> tuple[int, int]:
         """Reconcile the index with the mesh after a restructuring event.
 
         Computes the difference between the current table and the mesh's
         recomputed surface and applies the minimal set of inserts and deletes
         (the paper's hash-table maintenance).  Returns ``(inserted, removed)``.
+
+        ``dirty_ids`` narrows the reconciliation to the given vertex ids —
+        for localized restructuring events (e.g. the vertices of
+        :attr:`~repro.simulation.restructuring.RestructuringEvent.affected_cells`)
+        only the dirty vertices' membership is diffed, instead of a
+        whole-surface set difference.  The caller guarantees that every
+        membership change lies inside ``dirty_ids``; vertices outside it are
+        assumed unchanged (their entries are kept as they are).  ``scratch``
+        supplies the epoch-stamped delta arena for the dirty-membership test
+        (:meth:`~repro.core.scratch.CrawlScratch.acquire_delta`), replacing
+        the sort-based ``np.isin`` with one stamp pass and one gather and
+        allocating nothing proportional to the surface.
         """
-        current = self.surface_ids()
         fresh = np.unique(np.asarray(self._mesh.surface_vertices(), dtype=np.int64))
-        inserted = self.insert(np.setdiff1d(fresh, current, assume_unique=True))
-        removed = self.remove(np.setdiff1d(current, fresh, assume_unique=True))
-        # Both diffs were applied, so the fresh surface *is* the new id set.
-        self._ids_cache = fresh
+        if dirty_ids is None:
+            current = self.surface_ids()
+            inserted = self.insert(np.setdiff1d(fresh, current, assume_unique=True))
+            removed = self.remove(np.setdiff1d(current, fresh, assume_unique=True))
+            # Both diffs were applied, so the fresh surface *is* the new id set.
+            self._ids_cache = fresh
+        else:
+            dirty = np.unique(np.asarray(dirty_ids, dtype=np.int64))
+            if scratch is not None:
+                stamps, epoch = scratch.acquire_delta(self._mesh.n_vertices)
+                stamps[fresh] = epoch
+                on_surface = stamps[dirty] == epoch
+            else:
+                on_surface = np.isin(dirty, fresh, assume_unique=True)
+            inserted = self.insert(dirty[on_surface])
+            removed = self.remove(dirty[~on_surface])
+            # The table changed through insert/remove, which already dropped
+            # the id cache; it is rebuilt lazily from the table.
         self._connectivity_version = self._mesh.connectivity_version
         return inserted, removed
 

@@ -12,13 +12,22 @@ from .harness import (
     PAPER_COMPARISON,
     comparison_rows,
     fixed_workload_provider,
+    maintenance_rows,
+    make_deformation,
     make_strategy,
     per_step_workload_provider,
     run_comparison,
+    sparse_maintenance_rows,
     strategy_suite,
     work_sharing_rows,
 )
-from .report import format_table, format_value, format_work_sharing, print_table
+from .report import (
+    format_maintenance,
+    format_table,
+    format_value,
+    format_work_sharing,
+    print_table,
+)
 
 __all__ = [
     "PAPER_COMPARISON",
@@ -28,15 +37,19 @@ __all__ = [
     "earthquake_pair",
     "figures",
     "fixed_workload_provider",
+    "format_maintenance",
     "format_table",
     "format_value",
     "format_work_sharing",
+    "maintenance_rows",
+    "make_deformation",
     "make_strategy",
     "neuron_largest",
     "neuron_series",
     "per_step_workload_provider",
     "print_table",
     "run_comparison",
+    "sparse_maintenance_rows",
     "strategy_suite",
     "work_sharing_rows",
 ]

@@ -25,15 +25,27 @@ from ..core import OctopusConExecutor, OctopusExecutor
 from ..core.executor import ExecutionStrategy
 from ..errors import ExperimentError
 from ..mesh import Box3D, PolyhedralMesh
-from ..simulation import DeformationModel, MeshSimulation, SimulationReport
+from ..simulation import (
+    AffineDeformation,
+    DeformationModel,
+    LocalizedPulseDeformation,
+    MeshSimulation,
+    RandomWalkDeformation,
+    SimulationReport,
+    SinusoidalWaveDeformation,
+    SpinePulsationDeformation,
+)
 from ..workloads import QueryWorkload, random_query_workload
 
 __all__ = [
     "strategy_suite",
     "make_strategy",
+    "make_deformation",
     "run_comparison",
     "comparison_rows",
     "work_sharing_rows",
+    "maintenance_rows",
+    "sparse_maintenance_rows",
     "fixed_workload_provider",
     "per_step_workload_provider",
 ]
@@ -67,6 +79,31 @@ def make_strategy(name: str, **kwargs) -> ExecutionStrategy:
 def strategy_suite(names: Sequence[str] = PAPER_COMPARISON) -> list[ExecutionStrategy]:
     """Instantiate a list of strategies by name (defaults to the Figure 6 set)."""
     return [make_strategy(name) for name in names]
+
+
+def make_deformation(name: str, *, sparsity: float = 0.05, **kwargs) -> DeformationModel:
+    """Instantiate a deformation model by name.
+
+    ``sparsity`` is the harness's sparse-workload knob: it parameterises the
+    ``"localized-pulse"`` model (the fraction of vertices moving per step) and
+    is ignored by the whole-mesh models, so sweep drivers can dial a scenario
+    from "everything moves" (the paper's workload) down to "almost nothing
+    moves" without special-casing the model construction.
+    """
+    factories: dict[str, Callable[..., DeformationModel]] = {
+        "random-walk": RandomWalkDeformation,
+        "wave": SinusoidalWaveDeformation,
+        "pulsation": SpinePulsationDeformation,
+        "affine": AffineDeformation,
+        "localized-pulse": lambda **kw: LocalizedPulseDeformation(sparsity=sparsity, **kw),
+    }
+    try:
+        factory = factories[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown deformation {name!r}; expected one of {sorted(factories)}"
+        ) from exc
+    return factory(**kwargs)
 
 
 def fixed_workload_provider(workload: QueryWorkload | Sequence[Box3D]):
@@ -148,6 +185,71 @@ def comparison_rows(report: SimulationReport, baseline: str = "linear-scan") -> 
             }
         )
     return rows
+
+
+def maintenance_rows(report: SimulationReport) -> list[dict]:
+    """Per-strategy maintenance ledger: what keeping the index fresh cost.
+
+    For every strategy, the moved-vertex total of the deformation deltas is
+    set against the index entries its maintenance actually touched and the
+    wall-clock it spent; ``entries_per_moved`` near 1.0 means maintenance
+    cost proportional to the motion (the delta-aware regime), values near
+    ``n_vertices / n_moved`` mean every step paid for the whole mesh (the
+    delta-blind regime).  ``maintenance_share`` is maintenance's fraction of
+    the paper's total-response-time metric.
+    """
+    rows = []
+    for name, strategy_report in report.strategies.items():
+        response = max(strategy_report.total_response_time, 1e-12)
+        rows.append(
+            {
+                "strategy": name,
+                "moved_vertices": strategy_report.total_moved_vertices,
+                "maintenance_entries": strategy_report.total_maintenance_entries,
+                "entries_per_moved": strategy_report.maintenance_entries_per_moved_vertex(),
+                "maintenance_time_s": strategy_report.total_maintenance_time,
+                "maintenance_share": strategy_report.total_maintenance_time / response,
+            }
+        )
+    return rows
+
+
+def sparse_maintenance_rows(
+    profile: str = "small",
+    sparsity: float = 0.05,
+    n_steps: int = 4,
+    queries_per_step: int = 8,
+    selectivity: float = 0.01,
+    seed: int = 0,
+) -> list[dict]:
+    """The sparse-deformation scenario: localized motion, delta-keyed upkeep.
+
+    Runs the :class:`~repro.simulation.LocalizedPulseDeformation` workload
+    (``sparsity`` of the vertices moving per step, with rest steps) over the
+    delta-aware strategy set — OCTOPUS, OCTOPUS-CON with an incrementally
+    maintained grid, the lazy/memo/grace-window R-trees, and a throwaway
+    octree as the rebuild-everything yardstick — and returns the maintenance
+    ledger rows (:func:`maintenance_rows`), one per strategy.
+    """
+    from .datasets import neuron_largest
+
+    mesh = neuron_largest(profile).copy()
+    strategies = [
+        make_strategy("octopus"),
+        OctopusConExecutor(grid_maintenance="incremental"),
+        make_strategy("lur-tree"),
+        make_strategy("qu-trade"),
+        make_strategy("rum-tree"),
+        make_strategy("octree"),
+    ]
+    report = run_comparison(
+        mesh,
+        strategies,
+        make_deformation("localized-pulse", sparsity=sparsity, rest_every=4, seed=seed),
+        n_steps=n_steps,
+        query_provider=per_step_workload_provider(selectivity, queries_per_step, seed=seed),
+    )
+    return maintenance_rows(report)
 
 
 def work_sharing_rows(report: SimulationReport) -> list[dict]:

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_value", "format_work_sharing", "print_table"]
+__all__ = [
+    "format_maintenance",
+    "format_table",
+    "format_value",
+    "format_work_sharing",
+    "print_table",
+]
 
 
 def format_value(value: object, precision: int = 4) -> str:
@@ -70,6 +76,32 @@ def format_work_sharing(
     fused a batch show zero work and a sharing factor of 1.0.
     """
     return format_table(rows, columns=_WORK_SHARING_COLUMNS, title=title, precision=2)
+
+
+#: column order of the maintenance ledger table (harness.maintenance_rows)
+_MAINTENANCE_COLUMNS = (
+    "strategy",
+    "moved_vertices",
+    "maintenance_entries",
+    "entries_per_moved",
+    "maintenance_time_s",
+    "maintenance_share",
+)
+
+
+def format_maintenance(
+    rows: Sequence[Mapping[str, object]],
+    title: str | None = "Maintenance ledger (entries_per_moved ~1.0 = cost proportional to motion)",
+) -> str:
+    """Render the per-strategy maintenance ledger table.
+
+    Takes the rows produced by
+    :func:`repro.experiments.harness.maintenance_rows`; delta-aware
+    strategies show entries-per-moved-vertex near 1.0 (or 0.0 when they need
+    no maintenance at all), delta-blind rebuilds show the mesh-to-motion
+    ratio.
+    """
+    return format_table(rows, columns=_MAINTENANCE_COLUMNS, title=title, precision=2)
 
 
 def print_table(

@@ -164,6 +164,22 @@ class PolyhedralMesh:
         self._vertices += disp
         self.geometry_version += 1
 
+    def displace_at(self, vertex_ids: np.ndarray, displacement: np.ndarray) -> None:
+        """Add a displacement to the selected vertices only (sparse deformation).
+
+        The localized deformation models move a small subset of vertices per
+        step; going through this method (rather than poking the position array
+        directly) keeps :attr:`geometry_version` honest.
+        """
+        ids = np.asarray(vertex_ids, dtype=np.int64)
+        disp = np.asarray(displacement, dtype=np.float64)
+        if ids.ndim != 1 or disp.shape != (ids.size, 3):
+            raise MeshError("displace_at needs (k,) vertex ids and a (k, 3) displacement")
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n_vertices):
+            raise MeshError("displace_at vertex ids out of range")
+        self._vertices[ids] += disp
+        self.geometry_version += 1
+
     # ------------------------------------------------------------------
     # connectivity updates (restructuring)
     # ------------------------------------------------------------------

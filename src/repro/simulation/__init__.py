@@ -1,8 +1,10 @@
 """Simulation substrate: deformation models, restructuring, monitoring, driver."""
 
+from ..core.delta import DeformationDelta
 from .deformation import (
     AffineDeformation,
     DeformationModel,
+    LocalizedPulseDeformation,
     RandomWalkDeformation,
     SequenceReplayDeformation,
     SinusoidalWaveDeformation,
@@ -19,7 +21,9 @@ from .simulator import MeshSimulation, SimulationReport, StepRecord, StrategyRep
 
 __all__ = [
     "AffineDeformation",
+    "DeformationDelta",
     "DeformationModel",
+    "LocalizedPulseDeformation",
     "MeshQualityMonitor",
     "MeshSimulation",
     "Monitor",

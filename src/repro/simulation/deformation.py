@@ -19,6 +19,18 @@ pattern for the different dataset families:
   OCTOPUS-CON experiments.
 * :class:`SequenceReplayDeformation` — replays precomputed frames (the
   animation datasets of Section VIII).
+* :class:`LocalizedPulseDeformation` — a *sparse* deformation: only a small,
+  spatially coherent fraction of the vertices moves per step (a displacement
+  pulse travelling through the mesh, as in localized seismic activity or
+  single-neuron plasticity events).  This is the workload family where
+  delta-aware maintenance wins: the model reports exactly which vertices
+  moved.
+
+Every :meth:`DeformationModel.apply` returns a
+:class:`~repro.core.delta.DeformationDelta` describing the step's motion —
+the whole-mesh models return the cheap full fast path, the localized model an
+explicit moved set — which the simulation driver hands to every strategy's
+``on_step``.
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..core.delta import DeformationDelta
 from ..errors import SimulationError
 from ..mesh import PolyhedralMesh
 
@@ -37,6 +50,7 @@ __all__ = [
     "SpinePulsationDeformation",
     "AffineDeformation",
     "SequenceReplayDeformation",
+    "LocalizedPulseDeformation",
 ]
 
 
@@ -64,9 +78,18 @@ class DeformationModel(ABC):
             raise SimulationError("deformation model has not been bound to a mesh")
         return self._base_positions
 
+    def _full_delta(self) -> DeformationDelta:
+        """The whole-mesh fast path (models that rewrite every position)."""
+        return DeformationDelta.full(self.mesh.n_vertices)
+
     @abstractmethod
-    def apply(self, step: int) -> None:
-        """Overwrite the mesh positions in place for time step ``step`` (1-based)."""
+    def apply(self, step: int) -> DeformationDelta:
+        """Update the mesh positions in place for time step ``step`` (1-based).
+
+        Returns the step's :class:`~repro.core.delta.DeformationDelta`; models
+        that overwrite every position return the cheap full fast path, sparse
+        models an explicit moved set with old/new positions and dirty AABB.
+        """
 
     def reset(self) -> None:
         """Restore the initial positions (time step 0)."""
@@ -94,10 +117,11 @@ class RandomWalkDeformation(DeformationModel):
         diagonal = float(np.linalg.norm(mesh.bounding_box().extents))
         self._step_sigma = self.amplitude * diagonal
 
-    def apply(self, step: int) -> None:
+    def apply(self, step: int) -> DeformationDelta:
         rng = np.random.default_rng(self.seed + step)
         displacement = rng.normal(0.0, self._step_sigma, size=self.mesh.vertices.shape)
         self.mesh.displace(displacement)
+        return self._full_delta()
 
 
 class SinusoidalWaveDeformation(DeformationModel):
@@ -130,13 +154,14 @@ class SinusoidalWaveDeformation(DeformationModel):
         wavelength = self.wavelength_fraction * max(float(extents[(self.axis + 1) % 3]), 1e-9)
         self._wavenumber = 2.0 * np.pi / wavelength
 
-    def apply(self, step: int) -> None:
+    def apply(self, step: int) -> DeformationDelta:
         base = self.base_positions
         phase = 2.0 * np.pi * step / self.period_steps
         along = base[:, (self.axis + 1) % 3]
         positions = base.copy()
         positions[:, self.axis] += self._amp_abs * np.sin(self._wavenumber * along - phase)
         self.mesh.set_positions(positions)
+        return self._full_delta()
 
 
 class SpinePulsationDeformation(DeformationModel):
@@ -158,12 +183,13 @@ class SpinePulsationDeformation(DeformationModel):
         self._phase_noise = rng.uniform(0.0, 2.0 * np.pi, size=mesh.n_vertices)
         self._centroid = mesh.vertices.mean(axis=0)
 
-    def apply(self, step: int) -> None:
+    def apply(self, step: int) -> DeformationDelta:
         base = self.base_positions
         phase = 2.0 * np.pi * step / self.period_steps + self._phase_noise
         radial = base - self._centroid
         scale = 1.0 + self.amplitude * np.sin(phase)
         self.mesh.set_positions(self._centroid + radial * scale[:, None])
+        return self._full_delta()
 
 
 class AffineDeformation(DeformationModel):
@@ -210,11 +236,12 @@ class AffineDeformation(DeformationModel):
         rotation = np.array([[cos_a, -sin_a, 0.0], [sin_a, cos_a, 0.0], [0.0, 0.0, 1.0]])
         return rotation @ shear @ stretch
 
-    def apply(self, step: int) -> None:
+    def apply(self, step: int) -> DeformationDelta:
         base = self.base_positions
         matrix = self.matrix_at(step)
         positions = (base - self._centroid) @ matrix.T + self._centroid
         self.mesh.set_positions(positions)
+        return self._full_delta()
 
 
 class SequenceReplayDeformation(DeformationModel):
@@ -236,6 +263,99 @@ class SequenceReplayDeformation(DeformationModel):
     def n_frames(self) -> int:
         return len(self.frames)
 
-    def apply(self, step: int) -> None:
+    def apply(self, step: int) -> DeformationDelta:
         frame = self.frames[(step - 1) % len(self.frames)]
         self.mesh.set_positions(frame)
+        return self._full_delta()
+
+
+class LocalizedPulseDeformation(DeformationModel):
+    """A displacement pulse confined to a small, spatially coherent vertex slab.
+
+    Unlike the whole-mesh models above, only ``sparsity * n_vertices``
+    vertices move per step: the mesh's vertices are ordered along one axis at
+    bind time, and each step displaces one contiguous window of that order (a
+    spatially coherent slab) with a seeded Gaussian kick, sliding the window
+    through the mesh step after step like a travelling disturbance.  The
+    model's :meth:`apply` returns an explicit sparse
+    :class:`~repro.core.delta.DeformationDelta` (moved ids, old/new positions,
+    dirty AABB) — the workload that delta-aware incremental maintenance is
+    built for.
+
+    Like :class:`RandomWalkDeformation`, the Gaussian kicks do **not**
+    preserve convexity, so pair OCTOPUS-CON with this model only for
+    maintenance studies, not for completeness comparisons (its crawl assumes
+    internal reachability; see :class:`~repro.core.OctopusConExecutor`).
+
+    Parameters
+    ----------
+    sparsity:
+        Fraction of the vertices moved per active step (clamped to at least
+        one vertex).
+    amplitude:
+        Per-step Gaussian displacement std-dev as a fraction of the mesh
+        bounding-box diagonal (matching :class:`RandomWalkDeformation`).
+    axis:
+        Axis along which the slab window travels.
+    rest_every:
+        When set, every ``rest_every``-th step is a rest step in which *no*
+        vertex moves (an empty delta) — simulations with idle phases, and the
+        ``n_moved == 0`` edge of the maintenance-parity suite.
+    seed:
+        Seed for the per-step displacement draw.
+    """
+
+    def __init__(
+        self,
+        sparsity: float = 0.05,
+        amplitude: float = 0.002,
+        axis: int = 0,
+        rest_every: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < sparsity <= 1.0:
+            raise SimulationError("sparsity must lie in (0, 1]")
+        if amplitude < 0:
+            raise SimulationError("amplitude must be non-negative")
+        if axis not in (0, 1, 2):
+            raise SimulationError("axis must be 0, 1 or 2")
+        if rest_every is not None and rest_every < 2:
+            raise SimulationError("rest_every must be at least 2 (or None)")
+        self.sparsity = sparsity
+        self.amplitude = amplitude
+        self.axis = axis
+        self.rest_every = rest_every
+        self.seed = seed
+        self._order: np.ndarray | None = None
+        self._window = 0
+        self._step_sigma = 0.0
+
+    def bind(self, mesh: PolyhedralMesh) -> None:
+        super().bind(mesh)
+        self._order = np.argsort(mesh.vertices[:, self.axis], kind="stable").astype(np.int64)
+        self._window = max(1, int(round(self.sparsity * mesh.n_vertices)))
+        diagonal = float(np.linalg.norm(mesh.bounding_box().extents))
+        self._step_sigma = self.amplitude * diagonal
+
+    def moved_ids_at(self, step: int) -> np.ndarray:
+        """The (sorted) vertex ids the pulse touches at ``step``."""
+        mesh = self.mesh
+        if self.rest_every is not None and step % self.rest_every == 0:
+            return np.empty(0, dtype=np.int64)
+        n = mesh.n_vertices
+        window = self._window
+        span = max(n - window, 0) + 1
+        offset = ((step - 1) * max(1, window // 2)) % span
+        return np.sort(self._order[offset:offset + window])
+
+    def apply(self, step: int) -> DeformationDelta:
+        mesh = self.mesh
+        ids = self.moved_ids_at(step)
+        if ids.size == 0:
+            return DeformationDelta.empty(mesh.n_vertices)
+        old = mesh.vertices[ids].copy()
+        rng = np.random.default_rng(self.seed + step)
+        mesh.displace_at(ids, rng.normal(0.0, self._step_sigma, size=(ids.size, 3)))
+        new = mesh.vertices[ids].copy()
+        return DeformationDelta.sparse(mesh.n_vertices, ids, old, new)

@@ -19,6 +19,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..core.delta import DeformationDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters
 from ..errors import SimulationError
@@ -43,6 +44,10 @@ class StepRecord:
     counters: QueryCounters
     #: whether this step's boxes went through the batched query_many dispatch
     batched: bool = False
+    #: vertices the step's deformation delta reported as moved
+    n_moved: int = 0
+    #: index entries this strategy's maintenance touched for this step
+    maintenance_entries: int = 0
 
 
 @dataclass
@@ -55,6 +60,10 @@ class StrategyReport:
     total_query_time: float = 0.0
     total_results: int = 0
     n_queries: int = 0
+    #: moved vertices summed over the deformation deltas of all steps
+    total_moved_vertices: int = 0
+    #: index entries touched by this strategy's maintenance over all steps
+    total_maintenance_entries: int = 0
     memory_overhead_bytes: int = 0
     counters: QueryCounters = field(default_factory=QueryCounters)
     steps: list[StepRecord] = field(default_factory=list)
@@ -79,6 +88,13 @@ class StrategyReport:
     def total_response_time(self) -> float:
         """Query execution plus maintenance (the paper's reported metric)."""
         return self.total_query_time + self.total_maintenance_time
+
+    def maintenance_entries_per_moved_vertex(self) -> float:
+        """Index entries touched per moved vertex (1.0 ≈ cost ∝ motion;
+        ``n_vertices / n_moved`` ≈ cost ∝ mesh size, the delta-blind regime)."""
+        if self.total_moved_vertices == 0:
+            return 0.0
+        return self.total_maintenance_entries / self.total_moved_vertices
 
     def crawl_work_sharing(self) -> float:
         """Attributed / unique crawl work: how many sequential crawls' worth of
@@ -199,14 +215,27 @@ class MeshSimulation:
         return SimulationReport(n_steps=n_steps, strategies=dict(self._reports))
 
     def step(self, step: int) -> None:
-        """Execute one simulation step: deform, maintain, query."""
-        self.deformation.apply(step)
+        """Execute one simulation step: deform, maintain, query.
+
+        The deformation model's :class:`~repro.core.delta.DeformationDelta`
+        is handed to every strategy's ``on_step``, and the per-step records
+        keep both sides of the motion ledger: how many vertices moved and how
+        many index entries each strategy touched to keep up.
+        """
+        delta = self.deformation.apply(step)
+        if not isinstance(delta, DeformationDelta):
+            raise SimulationError(
+                f"deformation model {type(self.deformation).__name__}.apply() must "
+                "return a DeformationDelta (the delta-aware lifecycle contract)"
+            )
         boxes = list(self.query_provider(self.mesh, step))
 
         reference_ids: list[np.ndarray] | None = None
         for index, strategy in enumerate(self.strategies):
             report = self._reports[strategy.name]
-            maintenance = strategy.on_step()
+            entries_before = strategy.maintenance_entries
+            maintenance = strategy.on_step(delta)
+            step_entries = strategy.maintenance_entries - entries_before
 
             step_counters = QueryCounters()
             query_time = 0.0
@@ -261,6 +290,8 @@ class MeshSimulation:
             report.total_results += n_results
             report.n_queries += len(boxes)
             report.counters += step_counters
+            report.total_moved_vertices += delta.n_moved
+            report.total_maintenance_entries += step_entries
             report.steps.append(
                 StepRecord(
                     step=step,
@@ -270,5 +301,7 @@ class MeshSimulation:
                     n_results=n_results,
                     counters=step_counters,
                     batched=self.batch_queries,
+                    n_moved=delta.n_moved,
+                    maintenance_entries=step_entries,
                 )
             )

@@ -14,7 +14,7 @@ from repro.baselines import (
 from repro.core import QueryCounters
 from repro.errors import IndexError_
 from repro.mesh import Box3D, points_in_box
-from repro.simulation import RandomWalkDeformation
+from repro.simulation import DeformationDelta, RandomWalkDeformation
 from repro.workloads import random_query_workload
 
 
@@ -42,7 +42,7 @@ class TestLinearScan:
         linear = LinearScanExecutor()
         linear.prepare(neuron_small)
         assert linear.memory_overhead_bytes() == 0
-        assert linear.on_step() == 0.0
+        assert linear.on_step(DeformationDelta.full(neuron_small.n_vertices)) == 0.0
 
 
 class TestOctreeStructure:
@@ -128,8 +128,8 @@ class TestThrowawayExecutors:
         deformation = RandomWalkDeformation(amplitude=0.002, seed=0)
         deformation.bind(mesh)
         for step in range(1, 3):
-            deformation.apply(step)
-            maintenance = strategy.on_step()
+            delta = deformation.apply(step)
+            maintenance = strategy.on_step(delta)
             assert maintenance > 0.0                      # a rebuild really happened
             workload = random_query_workload(mesh, selectivity=0.02, n_queries=3, seed=step)
             for box in workload.boxes:

@@ -145,8 +145,8 @@ class TestLURTree:
         deformation = RandomWalkDeformation(amplitude=0.002, seed=1)
         deformation.bind(mesh)
         for step in range(1, 4):
-            deformation.apply(step)
-            lur.on_step()
+            delta = deformation.apply(step)
+            lur.on_step(delta)
             workload = random_query_workload(mesh, selectivity=0.02, n_queries=3, seed=step)
             for box in workload.boxes:
                 assert lur.query(box).same_vertices_as(linear.query(box))
@@ -158,8 +158,7 @@ class TestLURTree:
         lur.prepare(mesh)
         deformation = RandomWalkDeformation(amplitude=0.0002, seed=2)
         deformation.bind(mesh)
-        deformation.apply(1)
-        lur.on_step()
+        lur.on_step(deformation.apply(1))
         assert lur.n_reinserts < 0.05 * mesh.n_vertices
         # Some entries were still touched (MBR extensions) because everything moved.
         assert lur.maintenance_entries >= lur.n_reinserts
@@ -170,8 +169,7 @@ class TestLURTree:
         lur.prepare(mesh)
         deformation = RandomWalkDeformation(amplitude=0.005, seed=3)
         deformation.bind(mesh)
-        deformation.apply(1)
-        elapsed = lur.on_step()
+        elapsed = lur.on_step(deformation.apply(1))
         assert elapsed > 0.0
         assert lur.maintenance_time == pytest.approx(elapsed)
 
@@ -200,8 +198,8 @@ class TestQUTrade:
         deformation = RandomWalkDeformation(amplitude=0.002, seed=1)
         deformation.bind(mesh)
         for step in range(1, 4):
-            deformation.apply(step)
-            qu.on_step()
+            delta = deformation.apply(step)
+            qu.on_step(delta)
             workload = random_query_workload(mesh, selectivity=0.02, n_queries=3, seed=step)
             for box in workload.boxes:
                 assert qu.query(box).same_vertices_as(linear.query(box))
@@ -218,8 +216,8 @@ class TestQUTrade:
             deformation = RandomWalkDeformation(amplitude=0.003, seed=7)
             deformation.bind(mesh)
             for step in range(1, 4):
-                deformation.apply(step)
-                strategy.on_step()
+                delta = deformation.apply(step)
+                strategy.on_step(delta)
         assert qu.maintenance_entries <= lur.maintenance_entries
 
     def test_scans_more_candidates_than_exact_rtree(self, neuron_small):

@@ -131,8 +131,8 @@ def test_query_many_parity_after_deformation_steps(strategy_name, parity_rng):
     deformation = RandomWalkDeformation(amplitude=0.004, seed=PARITY_SEED + 5)
     deformation.bind(mesh)
     for step in (1, 2):
-        deformation.apply(step)
-        strategy.on_step()
+        delta = deformation.apply(step)
+        strategy.on_step(delta)
         boxes = _batch_kinds(mesh, seed=PARITY_SEED + 100 * step)["mixed"]
         _assert_parity(strategy, boxes)
 

@@ -19,13 +19,15 @@ class TestParser:
 
 class TestExperimentRegistry:
     def test_every_registered_name_maps_to_a_driver(self):
-        # Every figure family of the paper's evaluation is reachable from the CLI.
+        # Every figure family of the paper's evaluation is reachable from the
+        # CLI, plus the sparse-deformation maintenance scenario.
         expected = {
             "figure4", "figure5", "figure6",
             "figure7-detail", "figure7-results", "figure7-steps", "figure7-selectivity",
             "figure9-convex", "figure9-grid",
             "figure10-breakdown", "figure10-footprint",
             "figure11", "figure12", "figure13", "figure14", "figure15",
+            "sparse-maintenance",
         }
         assert expected == set(EXPERIMENTS)
 

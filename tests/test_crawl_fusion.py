@@ -232,3 +232,41 @@ class TestExecutorFusion:
         stamps2, words2, epoch2 = scratch.acquire_batch(4)
         assert epoch2 == 1
         assert not (stamps2 == epoch2).any()
+
+
+class TestAttributionChunking:
+    """The bounded-transient attribution path never changes results or counters."""
+
+    def test_parity_under_tiny_attribution_budget(self, neuron_small, monkeypatch):
+        import repro.core.crawler as crawler_module
+
+        boxes = _overlapping_boxes(neuron_small, n_boxes=9, seed=5)
+        starts = _start_sets(neuron_small, boxes)
+        reference_counters = [QueryCounters() for _ in boxes]
+        reference = crawl_many(
+            neuron_small, boxes, starts, reference_counters, scratch=CrawlScratch()
+        )
+        monkeypatch.setattr(crawler_module, "_ATTRIBUTION_BUDGET", 7)
+        chunked_counters = [QueryCounters() for _ in boxes]
+        chunked = crawl_many(
+            neuron_small, boxes, starts, chunked_counters, scratch=CrawlScratch()
+        )
+        for got, want in zip(chunked.outcomes, reference.outcomes):
+            assert np.array_equal(got.result_ids, want.result_ids)
+            assert got.n_vertices_visited == want.n_vertices_visited
+            assert got.n_edges_followed == want.n_edges_followed
+        assert [c.as_dict() for c in chunked_counters] == [
+            c.as_dict() for c in reference_counters
+        ]
+        assert chunked.n_unique_vertices_visited == reference.n_unique_vertices_visited
+        assert chunked.n_unique_edges_followed == reference.n_unique_edges_followed
+        assert (
+            chunked.n_attributed_vertex_visits == reference.n_attributed_vertex_visits
+        )
+        assert chunked.n_attributed_edge_follows == reference.n_attributed_edge_follows
+
+    def test_chunk_never_degenerates_to_zero(self):
+        from repro.core.crawler import _attribution_chunk
+
+        assert _attribution_chunk(0) >= 1
+        assert _attribution_chunk(10**9) == 1

@@ -7,6 +7,7 @@ from repro.errors import SimulationError
 from repro.mesh import mesh_is_convex
 from repro.simulation import (
     AffineDeformation,
+    LocalizedPulseDeformation,
     RandomWalkDeformation,
     SequenceReplayDeformation,
     SinusoidalWaveDeformation,
@@ -155,3 +156,80 @@ class TestSequenceReplay:
         model = SequenceReplayDeformation([np.zeros((3, 3))])
         with pytest.raises(SimulationError):
             model.bind(grid_mesh.copy())
+
+
+class TestDeltaContract:
+    def test_whole_mesh_models_return_full_deltas(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        for model in (
+            RandomWalkDeformation(amplitude=0.01),
+            SinusoidalWaveDeformation(amplitude=0.02),
+            SpinePulsationDeformation(amplitude=0.05),
+            AffineDeformation(),
+        ):
+            model.bind(mesh)
+            delta = model.apply(1)
+            assert delta.is_full
+            assert delta.n_moved == mesh.n_vertices
+
+
+class TestLocalizedPulse:
+    def test_moves_only_the_sparse_window(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = LocalizedPulseDeformation(sparsity=0.1, amplitude=0.01, seed=0)
+        model.bind(mesh)
+        before = mesh.vertices.copy()
+        delta = model.apply(1)
+        moved = np.nonzero(np.any(mesh.vertices != before, axis=1))[0]
+        expected_window = max(1, round(0.1 * mesh.n_vertices))
+        assert delta.n_moved == expected_window
+        assert np.all(np.isin(moved, delta.moved_ids))
+        # The untouched vertices really did not move.
+        untouched = np.setdiff1d(np.arange(mesh.n_vertices), delta.moved_ids)
+        assert np.array_equal(mesh.vertices[untouched], before[untouched])
+
+    def test_window_is_spatially_coherent(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = LocalizedPulseDeformation(sparsity=0.1, amplitude=0.0, axis=2, seed=0)
+        model.bind(mesh)
+        delta = model.apply(1)
+        # The moved slab spans a contiguous range of the sort axis.
+        slab = grid_mesh.vertices[delta.moved_ids, 2]
+        others = np.setdiff1d(np.arange(mesh.n_vertices), delta.moved_ids)
+        assert slab.max() <= grid_mesh.vertices[others, 2].max()
+
+    def test_window_travels_between_steps(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = LocalizedPulseDeformation(sparsity=0.05, seed=1)
+        model.bind(mesh)
+        first = model.moved_ids_at(1)
+        second = model.moved_ids_at(2)
+        assert not np.array_equal(first, second)
+
+    def test_rest_steps_move_nothing(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        model = LocalizedPulseDeformation(sparsity=0.05, rest_every=3, seed=2)
+        model.bind(mesh)
+        assert model.apply(3).n_moved == 0
+        assert model.apply(4).n_moved > 0
+
+    def test_deterministic_per_step(self, grid_mesh):
+        a, b = grid_mesh.copy(), grid_mesh.copy()
+        for mesh in (a, b):
+            model = LocalizedPulseDeformation(sparsity=0.08, seed=7)
+            model.bind(mesh)
+            model.apply(1)
+            model.apply(2)
+        assert np.array_equal(a.vertices, b.vertices)
+
+    def test_parameter_validation(self):
+        with pytest.raises(SimulationError):
+            LocalizedPulseDeformation(sparsity=0.0)
+        with pytest.raises(SimulationError):
+            LocalizedPulseDeformation(sparsity=1.5)
+        with pytest.raises(SimulationError):
+            LocalizedPulseDeformation(amplitude=-0.1)
+        with pytest.raises(SimulationError):
+            LocalizedPulseDeformation(axis=3)
+        with pytest.raises(SimulationError):
+            LocalizedPulseDeformation(rest_every=1)

@@ -185,3 +185,55 @@ class TestHarness:
         second = provider(mesh, 2)
         assert len(first) == len(second) == 2
         assert not np.allclose(first[0].lo, second[0].lo)
+
+
+class TestMaintenanceLedger:
+    def test_make_deformation_by_name_and_sparsity_knob(self):
+        from repro.experiments import make_deformation
+        from repro.simulation import LocalizedPulseDeformation, RandomWalkDeformation
+
+        assert isinstance(make_deformation("random-walk"), RandomWalkDeformation)
+        pulse = make_deformation("localized-pulse", sparsity=0.02, rest_every=4)
+        assert isinstance(pulse, LocalizedPulseDeformation)
+        assert pulse.sparsity == 0.02 and pulse.rest_every == 4
+        with pytest.raises(ExperimentError):
+            make_deformation("tsunami")
+
+    def test_maintenance_rows_and_table(self):
+        from repro.experiments import (
+            format_maintenance,
+            maintenance_rows,
+            make_deformation,
+        )
+
+        mesh = neuron_series("tiny")[0].copy()
+        workload = random_query_workload(mesh, selectivity=0.01, n_queries=2, seed=1)
+        report = run_comparison(
+            mesh=mesh,
+            strategies=strategy_suite(("octopus", "octree")),
+            deformation=make_deformation("localized-pulse", sparsity=0.05, rest_every=3),
+            n_steps=3,
+            query_provider=fixed_workload_provider(workload),
+        )
+        rows = maintenance_rows(report)
+        by_name = {row["strategy"]: row for row in rows}
+        assert by_name["octopus"]["maintenance_entries"] == 0
+        assert by_name["octree"]["maintenance_entries"] == 2 * mesh.n_vertices
+        assert by_name["octree"]["entries_per_moved"] > 1.0
+        assert 0.0 <= by_name["octree"]["maintenance_share"] <= 1.0
+        table = format_maintenance(rows)
+        assert "entries_per_moved" in table and "octree" in table
+
+    def test_sparse_maintenance_scenario_rows(self):
+        from repro.experiments import sparse_maintenance_rows
+
+        rows = sparse_maintenance_rows(
+            "tiny", sparsity=0.05, n_steps=2, queries_per_step=2
+        )
+        names = {row["strategy"] for row in rows}
+        assert {"octopus", "octopus-con", "lur-tree", "qu-trade", "rum-tree", "octree"} == names
+        by_name = {row["strategy"]: row for row in rows}
+        # The incrementally maintained strategies touch far fewer entries than
+        # the rebuild-everything octree on a sparse workload.
+        assert by_name["octopus-con"]["maintenance_entries"] < by_name["octree"]["maintenance_entries"]
+        assert by_name["rum-tree"]["maintenance_entries"] < by_name["octree"]["maintenance_entries"]

@@ -7,7 +7,7 @@ from repro.baselines import LinearScanExecutor
 from repro.core import OctopusExecutor
 from repro.errors import QueryError
 from repro.mesh import Box3D
-from repro.simulation import RandomWalkDeformation, remove_cells
+from repro.simulation import DeformationDelta, RandomWalkDeformation, remove_cells
 from repro.workloads import random_query_workload
 
 
@@ -93,8 +93,8 @@ class TestCorrectness:
         jitter.bind(mesh)
         for step in range(1, 4):
             wave.apply(step)
-            jitter.apply(step)
-            octopus.on_step()
+            delta = jitter.apply(step)
+            octopus.on_step(delta)
             # Every vertex moved since the previous step.
             workload = random_query_workload(mesh, selectivity=0.02, n_queries=4, seed=step)
             for box in workload.boxes:
@@ -108,7 +108,7 @@ class TestCorrectness:
         linear.prepare(mesh)
         new_mesh, _ = remove_cells(mesh, np.arange(0, 120))
         mesh.replace_cells(new_mesh.cells)
-        maintenance = octopus.on_step()
+        maintenance = octopus.on_step(DeformationDelta.empty(mesh.n_vertices))
         assert maintenance >= 0.0
         assert octopus.maintenance_entries >= 0
         box = Box3D((0.0, 0.0, 0.0), (0.9, 0.9, 0.9))
@@ -127,7 +127,7 @@ class TestBehaviour:
         octopus = OctopusExecutor()
         octopus.prepare(mesh)
         mesh.displace(rng.normal(scale=0.05, size=mesh.vertices.shape))
-        assert octopus.on_step() == 0.0
+        assert octopus.on_step(DeformationDelta.full(mesh.n_vertices)) == 0.0
         assert octopus.maintenance_time == 0.0
 
     def test_counters_probe_equals_surface_size(self, neuron_small):

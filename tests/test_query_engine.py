@@ -32,7 +32,7 @@ from repro.core import (
     directed_walk,
 )
 from repro.mesh import AdjacencyList, Box3D, points_in_box
-from repro.simulation import remove_cells
+from repro.simulation import DeformationDelta, remove_cells
 from repro.workloads import random_query_workload
 
 
@@ -259,7 +259,7 @@ class TestQueryMany:
         octopus.prepare(mesh)
         smaller, _ = remove_cells(mesh, np.arange(40))
         mesh.replace_cells(smaller.cells)
-        octopus.on_step()
+        octopus.on_step(DeformationDelta.empty(mesh.n_vertices))
         boxes = [
             Box3D((0.0, 0.0, 0.0), (0.6, 0.6, 0.6)),
             Box3D((0.3, 0.3, 0.3), (0.9, 0.9, 0.9)),

@@ -8,6 +8,7 @@ from repro.baselines import LinearScanExecutor
 from repro.errors import SimulationError
 from repro.mesh import validate_mesh
 from repro.simulation import (
+    DeformationDelta,
     MeshQualityMonitor,
     StructuralValidationMonitor,
     VisualizationMonitor,
@@ -71,7 +72,7 @@ class TestRemoveCells:
             new_mesh, _ = operation(mesh, cells)
             if new_mesh.n_vertices == mesh.n_vertices:
                 mesh.replace_cells(new_mesh.cells)
-                octopus.on_step()
+                octopus.on_step(DeformationDelta.empty(mesh.n_vertices))
                 linear = LinearScanExecutor()
                 linear.prepare(mesh)
                 box = mesh.bounding_box()

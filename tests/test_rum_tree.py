@@ -28,8 +28,8 @@ class TestRUMTree:
         deformation = RandomWalkDeformation(amplitude=0.002, seed=1)
         deformation.bind(mesh)
         for step in range(1, 4):
-            deformation.apply(step)
-            rum.on_step()
+            delta = deformation.apply(step)
+            rum.on_step(delta)
             workload = random_query_workload(mesh, selectivity=0.02, n_queries=3, seed=step)
             for box in workload.boxes:
                 assert rum.query(box).same_vertices_as(linear.query(box))
@@ -42,8 +42,7 @@ class TestRUMTree:
         rum.prepare(mesh)
         deformation = RandomWalkDeformation(amplitude=0.001, seed=2)
         deformation.bind(mesh)
-        deformation.apply(1)
-        rum.on_step()
+        rum.on_step(deformation.apply(1))
         assert rum.maintenance_entries == mesh.n_vertices
         assert rum.n_obsolete_entries == mesh.n_vertices
         assert rum.n_entries == 2 * mesh.n_vertices
@@ -55,8 +54,8 @@ class TestRUMTree:
         deformation = RandomWalkDeformation(amplitude=0.001, seed=3)
         deformation.bind(mesh)
         for step in range(1, 4):
-            deformation.apply(step)
-            rum.on_step()
+            delta = deformation.apply(step)
+            rum.on_step(delta)
         assert rum.n_garbage_collections >= 1
         # After a collection the entry count drops back towards the live count.
         assert rum.n_entries <= 3 * mesh.n_vertices
@@ -73,9 +72,9 @@ class TestRUMTree:
         octopus.prepare(mesh)
         deformation = RandomWalkDeformation(amplitude=0.001, seed=4)
         deformation.bind(mesh)
-        deformation.apply(1)
-        assert rum.on_step() > 0.0
-        assert octopus.on_step() == 0.0
+        delta = deformation.apply(1)
+        assert rum.on_step(delta) > 0.0
+        assert octopus.on_step(delta) == 0.0
         assert rum.maintenance_entries == mesh.n_vertices
         assert octopus.maintenance_entries == 0
 
@@ -86,8 +85,7 @@ class TestRUMTree:
         before = rum.memory_overhead_bytes()
         deformation = RandomWalkDeformation(amplitude=0.001, seed=5)
         deformation.bind(mesh)
-        deformation.apply(1)
-        rum.on_step()
+        rum.on_step(deformation.apply(1))
         assert rum.memory_overhead_bytes() > before
 
     def test_invalid_threshold(self):

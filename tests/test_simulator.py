@@ -129,3 +129,57 @@ class TestSimulationRun:
         )
         with pytest.raises(SimulationError):
             simulation.run(n_steps=0)
+
+
+class TestMotionLedger:
+    def test_step_records_carry_moved_counts_and_entries(self, neuron_small):
+        from repro.baselines import ThrowawayOctreeExecutor
+        from repro.simulation import LocalizedPulseDeformation
+
+        mesh = neuron_small.copy()
+        workload = random_query_workload(mesh, selectivity=0.01, n_queries=2, seed=6)
+        simulation = MeshSimulation(
+            mesh=mesh,
+            deformation=LocalizedPulseDeformation(sparsity=0.05, rest_every=3, seed=6),
+            strategies=[ThrowawayOctreeExecutor(), LinearScanExecutor()],
+            query_provider=fixed_provider(workload.boxes),
+        )
+        report = simulation.run(n_steps=3)
+        octree = report["octree"]
+        window = max(1, round(0.05 * mesh.n_vertices))
+        # Steps 1 and 2 moved one window each; step 3 was a rest step.
+        assert [record.n_moved for record in octree.steps] == [window, window, 0]
+        assert octree.total_moved_vertices == 2 * window
+        # The throwaway rebuild touches every vertex on active steps and is
+        # skipped entirely on the rest step.
+        assert [record.maintenance_entries for record in octree.steps] == [
+            mesh.n_vertices,
+            mesh.n_vertices,
+            0,
+        ]
+        assert octree.total_maintenance_entries == 2 * mesh.n_vertices
+        assert octree.maintenance_entries_per_moved_vertex() == pytest.approx(
+            2 * mesh.n_vertices / (2 * window)
+        )
+        # The linear scan needs no maintenance whatsoever.
+        linear = report["linear-scan"]
+        assert linear.total_maintenance_entries == 0
+        assert linear.maintenance_entries_per_moved_vertex() == 0.0
+
+    def test_legacy_model_without_delta_is_rejected(self, neuron_small):
+        from repro.simulation import RandomWalkDeformation
+
+        class LegacyModel(RandomWalkDeformation):
+            def apply(self, step):
+                super().apply(step)
+                return None     # pre-delta contract
+
+        mesh = neuron_small.copy()
+        simulation = MeshSimulation(
+            mesh,
+            LegacyModel(amplitude=0.001),
+            [LinearScanExecutor()],
+            fixed_provider([]),
+        )
+        with pytest.raises(SimulationError, match="DeformationDelta"):
+            simulation.run(n_steps=1)

@@ -108,3 +108,48 @@ class TestMaintenance:
         assert inserted == event.inserted_surface_vertices.size
         assert removed == event.removed_surface_vertices.size
         assert set(index.surface_ids().tolist()) == set(mesh.surface_vertices().tolist())
+
+    def test_dirty_narrowed_refresh_matches_full_refresh(self, grid_mesh):
+        mesh_a = grid_mesh.copy()
+        mesh_b = grid_mesh.copy()
+        narrowed = SurfaceIndex(mesh_a)
+        full = SurfaceIndex(mesh_b)
+        new_mesh, event = remove_cells(mesh_a, np.arange(0, 60))
+        mesh_a.replace_cells(new_mesh.cells)
+        mesh_b.replace_cells(new_mesh.cells)
+        # The membership changes are confined to the removed cells' vertices.
+        dirty = np.unique(grid_mesh.cells[np.arange(0, 60)])
+        inserted, removed = narrowed.refresh_from_mesh(dirty_ids=dirty)
+        full_inserted, full_removed = full.refresh_from_mesh()
+        assert inserted == full_inserted == event.inserted_surface_vertices.size
+        assert removed == full_removed == event.removed_surface_vertices.size
+        assert np.array_equal(narrowed.surface_ids(), full.surface_ids())
+        assert not narrowed.is_stale()
+
+    def test_dirty_refresh_with_no_changes_is_a_noop(self, grid_mesh):
+        mesh = grid_mesh.copy()
+        index = SurfaceIndex(mesh)
+        before = index.surface_ids().copy()
+        mesh.replace_cells(mesh.cells.copy())     # version bump, same surface
+        inserted, removed = index.refresh_from_mesh(dirty_ids=np.arange(8))
+        assert (inserted, removed) == (0, 0)
+        assert np.array_equal(index.surface_ids(), before)
+        assert not index.is_stale()
+
+    def test_dirty_refresh_with_delta_arena_matches_isin_path(self, grid_mesh):
+        from repro.core import CrawlScratch
+
+        mesh_a = grid_mesh.copy()
+        mesh_b = grid_mesh.copy()
+        with_arena = SurfaceIndex(mesh_a)
+        without = SurfaceIndex(mesh_b)
+        new_mesh, _ = remove_cells(mesh_a, np.arange(0, 60))
+        mesh_a.replace_cells(new_mesh.cells)
+        mesh_b.replace_cells(new_mesh.cells)
+        dirty = np.unique(grid_mesh.cells[np.arange(0, 60)])
+        scratch = CrawlScratch()
+        a = with_arena.refresh_from_mesh(dirty_ids=dirty, scratch=scratch)
+        b = without.refresh_from_mesh(dirty_ids=dirty)
+        assert a == b
+        assert np.array_equal(with_arena.surface_ids(), without.surface_ids())
+        assert scratch.delta_epoch == 1    # the arena really was used

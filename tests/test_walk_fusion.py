@@ -238,3 +238,27 @@ class TestExecutorFusedWalks:
         for index, (got, want) in enumerate(zip(batched, sequential)):
             assert got.same_vertices_as(want), f"box {index}"
             assert got.counters.as_dict() == want.counters.as_dict(), f"box {index}"
+
+
+class TestCrossQueryGatherSharing:
+    """Beams sitting on the same vertex share one CSR gather per round."""
+
+    def test_shared_beams_share_csr_gathers(self, neuron_small):
+        boxes, starts = _walk_families(neuron_small, seed=9)["shared"]
+        batch = directed_walk_many(neuron_small, boxes, starts, scratch=CrawlScratch())
+        assert batch.n_attributed_csr_gather_entries > 0
+        # Identical starts and near-identical targets keep the beams on the
+        # same corridor, so the deduplicated gathers do strictly less work.
+        assert (
+            batch.n_unique_csr_gather_entries < batch.n_attributed_csr_gather_entries
+        )
+
+    def test_disjoint_beams_share_nothing(self, neuron_small):
+        families = _walk_families(neuron_small, seed=11)
+        boxes, starts = families["interior"]
+        # Distinct single starts per query: rounds may still overlap later,
+        # but the unique work can never exceed the attributed work.
+        batch = directed_walk_many(neuron_small, boxes, starts, scratch=CrawlScratch())
+        assert (
+            batch.n_unique_csr_gather_entries <= batch.n_attributed_csr_gather_entries
+        )
