@@ -22,6 +22,13 @@ random mesh vertices, microbenchmark-B selectivity):
   ``LocalizedPulseDeformation`` workload where only a small fraction of the
   vertices moves per step.  The gated ``speedup`` is the *minimum* across
   those strategies.
+* **restructuring maintenance** — topology-delta-keyed incremental
+  maintenance (``on_restructure(delta)`` with an explicit dirty set) against
+  the delta-blind reference (the same strategy driven with
+  ``delta.as_full()``: whole-surface reconciliation, full grid re-bin, STR
+  bulk reload), for OCTOPUS's surface index, OCTOPUS-CON's maintained grid
+  and the LUR-Tree, on rounds of localized cell splits.  The gated
+  ``speedup`` is again the minimum across strategies.
 
 Writes a perf record to ``BENCH_query_engine.json`` at the repository root so
 future PRs can track the trajectory, and prints the same numbers.  Run it
@@ -69,9 +76,9 @@ from repro.core import (  # noqa: E402
     directed_walk_many,
 )
 from repro.experiments.datasets import neuron_largest  # noqa: E402
-from repro.generators import neuron_mesh  # noqa: E402
+from repro.generators import neuron_mesh, structured_tetrahedral_mesh  # noqa: E402
 from repro.mesh import Box3D, points_in_box  # noqa: E402
-from repro.simulation import LocalizedPulseDeformation  # noqa: E402
+from repro.simulation import LocalizedPulseDeformation, split_cells_inplace  # noqa: E402
 from repro.workloads import random_query_workload  # noqa: E402
 
 RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_query_engine.json"
@@ -99,6 +106,15 @@ SPARSE_RUM_STEPS = 3
 #: the RUM pair runs once — its full path is deliberately expensive
 SPARSE_REPS = 3
 
+#: restructuring-maintenance scenario: localized splits on a dedicated mesh —
+#: a thin structured slab whose surface covers most of its vertices, so the
+#: O(surface) full reconciliation and the O(event) narrowed one separate
+#: cleanly (and the slab generates in milliseconds, unlike a large neuron)
+RESTRUCTURE_MESH_SHAPE = (100, 100, 2)
+RESTRUCTURE_ROUNDS = 4
+RESTRUCTURE_CELLS = 8
+RESTRUCTURE_REPS = 3
+
 #: which record section holds each floor-gated scenario's speedup
 FLOOR_SCENARIOS = {
     "batched": "batched_vs_sequential",
@@ -106,6 +122,7 @@ FLOOR_SCENARIOS = {
     "fused_crawl": "fused_vs_sequential_crawl",
     "fused_walk": "fused_vs_sequential_walk",
     "sparse_maintenance": "sparse_deformation_maintenance",
+    "restructuring_maintenance": "restructuring_maintenance",
 }
 
 
@@ -358,6 +375,86 @@ def bench_sparse_deformation_maintenance() -> dict:
     }
 
 
+def bench_restructuring_maintenance() -> dict:
+    """Topology-delta-keyed incremental maintenance vs. the rebuild reference.
+
+    Each round splits a localized clump of cells in place and hands the
+    resulting :class:`TopologyDelta` to two instances of the same strategy:
+    one receives the real sparse delta (incremental path — narrowed
+    surface-index reconciliation for OCTOPUS, a frozen-geometry tail splice
+    for OCTOPUS-CON's maintained grid, ascending-id inserts of the appended
+    centroids for the LUR-Tree), the other ``delta.as_full()`` (the
+    delta-blind path: whole-surface diff / full re-bin / STR bulk reload).
+    The mesh-side surface re-extraction is warmed before timing either
+    contender, so the ratio isolates the *index* maintenance.  The headline
+    ``speedup`` — the number the CI floor gates — is the minimum across
+    strategies.
+    """
+
+    def run_pair(make_incremental, make_reference, base_mesh, reps):
+        best_incremental_s = best_full_s = None
+        entry = None
+        for _ in range(reps):
+            mesh = base_mesh.copy()
+            incremental = make_incremental()
+            reference = make_reference()
+            incremental.prepare(mesh)
+            reference.prepare(mesh)
+            dirty = 0
+            for round_index in range(RESTRUCTURE_ROUNDS):
+                offset = (1 + round_index) * 101 % max(mesh.n_cells - RESTRUCTURE_CELLS, 1)
+                event = split_cells_inplace(
+                    mesh, np.arange(offset, offset + RESTRUCTURE_CELLS)
+                )
+                delta = event.delta
+                dirty += delta.n_dirty
+                # Warm the mesh-side surface cache: re-extracting the surface
+                # after a connectivity change is mesh work shared by every
+                # consumer, not part of either contender's index maintenance.
+                mesh.surface_vertices()
+                incremental.on_restructure(delta)
+                reference.on_restructure(delta.as_full())
+            if best_incremental_s is None or incremental.maintenance_time < best_incremental_s:
+                best_incremental_s = incremental.maintenance_time
+            if best_full_s is None or reference.maintenance_time < best_full_s:
+                best_full_s = reference.maintenance_time
+            entry = {
+                "mesh_vertices": mesh.n_vertices,
+                "rounds": RESTRUCTURE_ROUNDS,
+                "cells_per_round": RESTRUCTURE_CELLS,
+                "reps": reps,
+                "dirty_vertices": dirty,
+                "incremental_entries": incremental.maintenance_entries,
+                "full_entries": reference.maintenance_entries,
+            }
+        entry["incremental_s"] = best_incremental_s
+        entry["full_s"] = best_full_s
+        entry["speedup"] = best_full_s / max(best_incremental_s, 1e-12)
+        return entry
+
+    mesh = structured_tetrahedral_mesh(RESTRUCTURE_MESH_SHAPE, name="restructure-bench")
+    strategies = {
+        "octopus": run_pair(
+            OctopusExecutor, OctopusExecutor, mesh, RESTRUCTURE_REPS
+        ),
+        "octopus-con": run_pair(
+            lambda: OctopusConExecutor(grid_maintenance="incremental"),
+            lambda: OctopusConExecutor(grid_maintenance="rebuild"),
+            mesh,
+            RESTRUCTURE_REPS,
+        ),
+        "lur-tree": run_pair(
+            LURTreeExecutor, LURTreeExecutor, mesh, RESTRUCTURE_REPS
+        ),
+    }
+    return {
+        "rounds": RESTRUCTURE_ROUNDS,
+        "cells_per_round": RESTRUCTURE_CELLS,
+        "strategies": strategies,
+        "speedup": min(entry["speedup"] for entry in strategies.values()),
+    }
+
+
 def parse_floors(spec: str) -> dict[str, float]:
     """Parse ``REPRO_BENCH_FLOORS`` (``name=min_speedup`` pairs, comma-separated)."""
     floors: dict[str, float] = {}
@@ -416,6 +513,7 @@ def run(profile: str | None = None) -> dict:
         "fused_vs_sequential_crawl": bench_fused_vs_sequential_crawl(mesh),
         "fused_vs_sequential_walk": bench_fused_vs_sequential_walk(mesh),
         "sparse_deformation_maintenance": bench_sparse_deformation_maintenance(),
+        "restructuring_maintenance": bench_restructuring_maintenance(),
     }
     return record
 
@@ -453,6 +551,16 @@ def _print_record(record: dict) -> None:
             f"{entry['incremental_entries']} vs {entry['full_entries']} entries)"
         )
     print(f"sparse maintenance (min across strategies): {sparse['speedup']:.2f}x")
+    restructuring = record["restructuring_maintenance"]
+    for name, entry in restructuring["strategies"].items():
+        print(
+            f"restructuring maintenance [{name}]: {entry['full_s'] * 1e3:.2f} ms -> "
+            f"{entry['incremental_s'] * 1e3:.2f} ms  ({entry['speedup']:.2f}x, "
+            f"{entry['incremental_entries']} vs {entry['full_entries']} entries)"
+        )
+    print(
+        f"restructuring maintenance (min across strategies): {restructuring['speedup']:.2f}x"
+    )
 
 
 def _check_floors_from_env(record: dict) -> list[str]:
@@ -516,6 +624,16 @@ def test_query_engine_benchmark(profile, record_rows):
             "speedup": entry["speedup"],
         }
         for name, entry in sparse["strategies"].items()
+    )
+    restructuring = record["restructuring_maintenance"]
+    rows.extend(
+        {
+            "comparison": f"restructuring maintenance [{name}]",
+            "baseline_s": entry["full_s"],
+            "optimized_s": entry["incremental_s"],
+            "speedup": entry["speedup"],
+        }
+        for name, entry in restructuring["strategies"].items()
     )
     record_rows("bench_query_engine", rows, "Query engine microbenchmark")
     failures = _check_floors_from_env(record)

@@ -21,7 +21,7 @@ import numpy as np
 from repro import Box3D, LinearScanExecutor, OctopusExecutor
 from repro.core import evaluate_surface_approximation
 from repro.generators import neuron_mesh
-from repro.simulation import DeformationDelta, remove_cells, split_cells
+from repro.simulation import remove_cells_inplace, split_cells_inplace
 from repro.workloads import random_query_workload
 
 
@@ -32,20 +32,22 @@ def restructuring_demo() -> None:
     octopus.prepare(mesh)
     print(f"initial surface index size: {len(octopus.surface_index)}")
 
-    # Refine a region: split 50 cells 1-to-4 (centroid insertion).
-    refined, split_event = split_cells(mesh, np.arange(50))
+    # Refine a region: split 50 cells 1-to-4 (centroid insertion).  The event
+    # carries the TopologyDelta that feeds the strategy lifecycle.
+    split_event = split_cells_inplace(mesh, np.arange(50))
+    seconds = octopus.on_restructure(split_event.delta)
     print(f"split 50 cells: +{split_event.n_new_vertices} vertices, "
           f"surface gained {split_event.inserted_surface_vertices.size} / "
-          f"lost {split_event.removed_surface_vertices.size} vertices")
+          f"lost {split_event.removed_surface_vertices.size} vertices; "
+          f"index reconciled in {seconds * 1e3:.2f} ms "
+          f"({split_event.delta.n_dirty} dirty vertices checked)")
 
-    # Erode the mesh: remove 100 cells, exposing interior vertices.
-    eroded, remove_event = remove_cells(mesh, np.arange(mesh.n_cells - 100, mesh.n_cells))
-    mesh.replace_cells(eroded.cells)
-    # Restructuring without deformation: an empty delta still triggers the
-    # surface-index reconciliation because the connectivity version changed.
-    maintenance_seconds = octopus.on_step(DeformationDelta.empty(mesh.n_vertices))
+    # Erode the mesh: remove 100 cells, exposing interior vertices.  The
+    # narrowed reconciliation only diffs the removed cells' vertices.
+    remove_event = remove_cells_inplace(mesh, np.arange(mesh.n_cells - 100, mesh.n_cells))
+    seconds = octopus.on_restructure(remove_event.delta)
     print(f"removed 100 cells: surface gained {remove_event.inserted_surface_vertices.size} "
-          f"vertices; index reconciled in {maintenance_seconds * 1e3:.2f} ms "
+          f"vertices; index reconciled in {seconds * 1e3:.2f} ms "
           f"({octopus.maintenance_entries} hash-table operations)")
 
     # Queries remain exact after the restructuring.

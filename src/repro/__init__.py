@@ -38,6 +38,7 @@ from .core import (
     QueryCounters,
     QueryResult,
     SurfaceIndex,
+    TopologyDelta,
     calibrate_cost_model,
 )
 from .errors import (
@@ -81,6 +82,7 @@ __all__ = [
     "ThrowawayGridExecutor",
     "ThrowawayKDTreeExecutor",
     "ThrowawayOctreeExecutor",
+    "TopologyDelta",
     "TriangleMesh",
     "WorkloadError",
     "__version__",

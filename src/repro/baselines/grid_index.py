@@ -12,7 +12,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from ..core.delta import DeformationDelta
+from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..core.uniform_grid import UniformGrid
@@ -48,6 +48,25 @@ class ThrowawayGridExecutor(ExecutionStrategy):
         the vertex set forces a rebuild even on a zero-motion step.
         """
         if delta.n_moved == 0 and self.grid.n_points == self.mesh.n_vertices:
+            return 0.0
+        elapsed = self.grid.build(self.mesh.vertices)
+        self.maintenance_time += elapsed
+        self.maintenance_entries += self.mesh.n_vertices
+        return elapsed
+
+    def on_restructure(self, delta: TopologyDelta) -> float:
+        """Rebuild only when the restructuring changed the vertex set.
+
+        A throwaway index over vertex positions is untouched by cell removal
+        — ids and positions are preserved — so a sparse delta with no
+        appended vertices skips the rebuild entirely; splits (or a full
+        delta) rebuild over the grown vertex array.
+        """
+        if (
+            not delta.is_full
+            and delta.n_vertices_added == 0
+            and self.grid.n_points == self.mesh.n_vertices
+        ):
             return 0.0
         elapsed = self.grid.build(self.mesh.vertices)
         self.maintenance_time += elapsed

@@ -12,7 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.delta import DeformationDelta
+from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..errors import IndexError_
@@ -199,6 +199,24 @@ class ThrowawayKDTreeExecutor(ExecutionStrategy):
         the vertex set forces a rebuild even on a zero-motion step.
         """
         if delta.n_moved == 0 and self.kdtree.n_points == self.mesh.n_vertices:
+            return 0.0
+        elapsed = self.kdtree.build(self.mesh.vertices)
+        self.maintenance_time += elapsed
+        self.maintenance_entries += self.mesh.n_vertices
+        return elapsed
+
+    def on_restructure(self, delta: TopologyDelta) -> float:
+        """Rebuild only when the restructuring changed the vertex set.
+
+        Cell removal preserves ids and positions, so a sparse delta with no
+        appended vertices skips the rebuild; splits (or a full delta) rebuild
+        over the grown vertex array.
+        """
+        if (
+            not delta.is_full
+            and delta.n_vertices_added == 0
+            and self.kdtree.n_points == self.mesh.n_vertices
+        ):
             return 0.0
         elapsed = self.kdtree.build(self.mesh.vertices)
         self.maintenance_time += elapsed

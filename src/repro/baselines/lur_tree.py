@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.delta import DeformationDelta
+from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..mesh import Box3D
@@ -108,6 +108,41 @@ class LURTreeExecutor(ExecutionStrategy):
         if escapees.size:
             touched += tree.reinsert(escapees, positions)
             self.n_reinserts += int(escapees.size)
+        elapsed = time.perf_counter() - start
+        self.maintenance_time += elapsed
+        self.maintenance_entries += touched
+        return elapsed
+
+    def on_restructure(self, delta: TopologyDelta) -> float:
+        """Topology maintenance keyed off the restructuring delta.
+
+        Restructuring never moves a pre-existing vertex, so the tree's
+        entries and MBRs remain exact: a removal-only delta costs nothing,
+        and appended vertices are inserted one by one in ascending id order
+        (the canonical order shared with :meth:`RTree.reinsert`) at a cost
+        proportional to the additions.  A full delta — the delta-blind
+        reference — bulk-loads from scratch; the incremental inserts answer
+        queries identically but legitimately grow a different tree *shape*
+        than an STR re-pack, so the restructuring-parity suite holds this
+        strategy to result parity (not counter parity) across split events.
+        """
+        tree = self.tree
+        positions = self.mesh.vertices
+        start = time.perf_counter()
+        touched = 0
+        n = positions.shape[0]
+        if not delta.is_full and len(tree._leaf_of) + delta.n_vertices_added == n:
+            # The mesh preserves the position array object across
+            # equal-count restructurings, but re-bind defensively either way
+            # so every later MBR recompute reads the live array.
+            tree.rebind_positions(positions)
+            if delta.n_vertices_added:
+                for vertex_id in delta.added_vertex_ids():
+                    tree.insert(int(vertex_id), positions[int(vertex_id)])
+                touched = delta.n_vertices_added
+        else:
+            tree.bulk_load(positions)
+            touched = n
         elapsed = time.perf_counter() - start
         self.maintenance_time += elapsed
         self.maintenance_entries += touched

@@ -197,6 +197,22 @@ class RTree:
         except KeyError as exc:
             raise IndexError_(f"entry {entry_id} is not in the R-tree") from exc
 
+    def rebind_positions(self, positions: np.ndarray) -> None:
+        """Re-point the tree at a grown position array (mesh restructuring).
+
+        Restructuring replaces the mesh's position array object (appending
+        new vertices to the tail), so the reference captured at
+        :meth:`bulk_load` time goes stale.  Entry-to-leaf assignments and
+        MBRs are untouched — pre-existing ids keep their positions — the tree
+        merely reads positions through the new array from now on, which is
+        required before :meth:`insert` can place entries for the new tail
+        ids.
+        """
+        pts = np.asarray(positions, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] < len(self._leaf_of):
+            raise IndexError_("rebind_positions needs an (n, 3) array covering every entry")
+        self._positions = pts
+
     def delete(self, entry_id: int) -> None:
         """Remove one entry from its leaf and tighten MBRs up the path."""
         leaf = self.leaf_of(entry_id)

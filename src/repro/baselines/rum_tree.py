@@ -21,7 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.delta import DeformationDelta
+from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters, QueryResult
 from ..errors import IndexError_
@@ -144,6 +144,47 @@ class RUMTreeExecutor(ExecutionStrategy):
                 tree.insert(first_new_key + offset, current[vertex_id])
             touched += int(moved.size)
 
+        elapsed = time.perf_counter() - start
+        self.maintenance_time += elapsed
+        self.maintenance_entries += touched
+        return elapsed
+
+    def on_restructure(self, delta: TopologyDelta) -> float:
+        """Topology maintenance keyed off the restructuring delta.
+
+        Pre-existing entries (and their memo pointers) stay valid across
+        restructuring, so a removal-only delta costs nothing; appended
+        vertices get one fresh entry each — new key, new memo slot, one
+        R-tree insert in ascending id order — which is exactly the memo
+        protocol's insert path, producing no obsolete entries.  A full delta
+        garbage-collects everything by rebuilding from the current positions;
+        the incremental inserts answer queries identically (the memo filter
+        keeps results exact) but grow a different tree shape, so the
+        restructuring-parity suite holds this strategy to result parity.
+        """
+        start = time.perf_counter()
+        mesh = self.mesh
+        n = mesh.n_vertices
+        touched = 0
+        if delta.is_full or self._memo.size + delta.n_vertices_added != n:
+            self._rebuild_from_current()
+            touched = n
+        elif delta.n_vertices_added:
+            new_ids = delta.added_vertex_ids()
+            new_positions = mesh.vertices[new_ids]
+            first_new_key = self._stored_positions.shape[0]
+            self._stored_positions = np.vstack([self._stored_positions, new_positions])
+            self._entry_vertex = np.concatenate([self._entry_vertex, new_ids])
+            # New vertices have no prior entry to obsolete; the memo simply
+            # grows (ids are the tail, so concatenation keeps it id-indexed).
+            self._memo = np.concatenate(
+                [self._memo, first_new_key + np.arange(new_ids.size, dtype=np.int64)]
+            )
+            tree = self.tree
+            tree.rebind_positions(self._stored_positions)
+            for offset in range(int(new_ids.size)):
+                tree.insert(first_new_key + offset, new_positions[offset])
+            touched = int(new_ids.size)
         elapsed = time.perf_counter() - start
         self.maintenance_time += elapsed
         self.maintenance_entries += touched

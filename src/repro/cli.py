@@ -24,7 +24,11 @@ from typing import Callable, Sequence
 
 from .experiments import format_table
 from .experiments import figures as figure_drivers
-from .experiments.harness import sparse_maintenance_rows
+from .experiments.harness import (
+    restructuring_maintenance_rows,
+    sparse_maintenance_rows,
+    sparsity_sweep_rows,
+)
 
 __all__ = ["EXPERIMENTS", "build_parser", "run_experiment", "main"]
 
@@ -97,6 +101,14 @@ EXPERIMENTS: dict[str, tuple[Callable[[str], list[dict]], str]] = {
     "sparse-maintenance": (
         lambda profile: sparse_maintenance_rows(profile),
         "Sparse deformation — delta-keyed maintenance ledger",
+    ),
+    "restructuring-maintenance": (
+        lambda profile: restructuring_maintenance_rows(profile),
+        "Restructuring — topology-delta-keyed maintenance ledger",
+    ),
+    "sparsity-sweep": (
+        lambda profile: sparsity_sweep_rows(profile),
+        "Sparsity sweep — maintenance time vs fraction of vertices moving",
     ),
 }
 

@@ -3,7 +3,7 @@
 from .approximation import ApproximationPoint, evaluate_surface_approximation
 from .cost_model import CostModel, calibrate_cost_model
 from .crawler import BatchCrawlOutcome, CrawlOutcome, crawl, crawl_many
-from .delta import DeformationDelta
+from .delta import DeformationDelta, TopologyDelta
 from .directed_walk import BatchWalkOutcome, WalkOutcome, directed_walk, directed_walk_many
 from .executor import ExecutionStrategy
 from .octopus import OctopusExecutor
@@ -28,6 +28,7 @@ __all__ = [
     "QueryResult",
     "SurfaceIndex",
     "SurfaceProbeOutcome",
+    "TopologyDelta",
     "UniformGrid",
     "WalkArena",
     "WalkOutcome",

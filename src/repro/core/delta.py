@@ -1,25 +1,45 @@
-"""Deformation deltas: "what moved" as a first-class value.
+"""Change deltas: "what changed this step" as first-class values.
 
 The paper's headline metric is the total query response time *including* index
 maintenance on dynamic meshes.  The simulation→strategy contract therefore
-threads a :class:`DeformationDelta` through every time step: each
-:meth:`~repro.simulation.deformation.DeformationModel.apply` returns one, and
-every :meth:`~repro.core.executor.ExecutionStrategy.on_step` consumes it, so a
-strategy can pay maintenance proportional to the *motion* instead of the mesh
-size when only part of the mesh deformed.
+threads explicit change descriptions through every time step, one per kind of
+mesh change:
 
-A delta is one of three shapes:
+* :class:`DeformationDelta` — *geometry* changed: vertex positions were
+  overwritten in place.  Each
+  :meth:`~repro.simulation.deformation.DeformationModel.apply` returns one,
+  and every :meth:`~repro.core.executor.ExecutionStrategy.on_step` consumes
+  it, so a strategy can pay maintenance proportional to the *motion* instead
+  of the mesh size when only part of the mesh deformed.
+* :class:`TopologyDelta` — *connectivity* changed: cells were split or
+  removed (Section IV-E2's rare mesh restructuring).  Each restructuring
+  operation (:func:`~repro.simulation.restructuring.split_cells`,
+  :func:`~repro.simulation.restructuring.remove_cells`) derives one, and
+  every :meth:`~repro.core.executor.ExecutionStrategy.on_restructure`
+  consumes it, so a strategy can splice the few affected index entries
+  instead of rebuilding over the whole mesh.
 
-* **full** — (almost) every vertex moved, the classic mesh-simulation workload
-  of Section III-A.  :meth:`DeformationDelta.full` is the cheap fast path: no
-  id array and no position copies are materialised, consumers branch on
-  :attr:`is_full` and fall back to their whole-mesh maintenance.
-* **sparse** — an explicit set of moved vertex ids with their old and new
-  positions and the dirty AABB covering both.  Strategies with incremental
-  maintenance (grid relocation, moved-only R-tree checks, moved-only RUM
-  inserts) key off exactly this.
-* **empty** — a sparse delta with zero moved vertices (e.g. a rest step of a
-  pulsed workload); maintenance is skipped entirely.
+Both deltas share the same three shapes:
+
+* **full** — the cheap "everything may have changed" fast path: no id arrays
+  are materialised, consumers branch on ``is_full`` and fall back to their
+  whole-mesh maintenance (rebuild / full reconciliation).  This is also the
+  delta-blind reference the parity suites compare incremental maintenance
+  against (``as_full()``).
+* **sparse** — an explicit set of affected vertex ids plus the dirty AABB
+  covering them (and, for deformation, the old/new positions).  Incremental
+  maintenance keys off exactly this.
+* **empty** — a step in which nothing changed; maintenance is skipped
+  entirely.
+
+The two contracts the sparse fast paths rely on:
+
+* vertex ids are **stable** across both kinds of change — deformation moves
+  positions under fixed ids, and restructuring preserves every pre-existing
+  vertex id (removed cells leave their vertices in place, possibly isolated);
+* new vertices are only ever **appended** — a split's centroids occupy the id
+  range ``[n_before, n_after)``, so position indexes can treat additions as a
+  tail splice.
 """
 
 from __future__ import annotations
@@ -29,7 +49,7 @@ import numpy as np
 from ..errors import SimulationError
 from ..mesh import Box3D
 
-__all__ = ["DeformationDelta"]
+__all__ = ["DeformationDelta", "TopologyDelta"]
 
 
 class DeformationDelta:
@@ -148,3 +168,150 @@ class DeformationDelta:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         shape = "full" if self.is_full else f"sparse[{self.n_moved}]"
         return f"DeformationDelta({shape}, n_vertices={self.n_vertices})"
+
+
+class TopologyDelta:
+    """Description of one restructuring step's connectivity change.
+
+    Attributes
+    ----------
+    n_vertices:
+        Total vertex count of the mesh *after* the restructuring.
+    dirty_ids:
+        Sorted ``int64`` ids of the vertices whose index entries may have
+        changed — the vertices of every affected cell plus any newly inserted
+        vertices (surface membership can only change inside this set, and new
+        vertices only appear inside it), or ``None`` for a full delta.
+    n_vertices_added:
+        Vertices appended by the operation (splits insert centroids); their
+        ids are always the tail range ``[n_vertices - n_vertices_added,
+        n_vertices)``, see :meth:`added_vertex_ids`.
+    n_cells_added / n_cells_removed:
+        Cells appended to / deleted from the cell array (a 1-to-4 split
+        removes one cell and adds four).
+    dirty_box:
+        Axis-aligned box covering the current positions of the dirty
+        vertices, or ``None`` when nothing changed or on the full fast path.
+    """
+
+    __slots__ = (
+        "n_vertices",
+        "dirty_ids",
+        "n_vertices_added",
+        "n_cells_added",
+        "n_cells_removed",
+        "dirty_box",
+    )
+
+    def __init__(
+        self,
+        n_vertices: int,
+        dirty_ids: np.ndarray | None,
+        n_vertices_added: int = 0,
+        n_cells_added: int = 0,
+        n_cells_removed: int = 0,
+        dirty_box: Box3D | None = None,
+    ) -> None:
+        self.n_vertices = int(n_vertices)
+        self.dirty_ids = dirty_ids
+        self.n_vertices_added = int(n_vertices_added)
+        self.n_cells_added = int(n_cells_added)
+        self.n_cells_removed = int(n_cells_removed)
+        self.dirty_box = dirty_box
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def full(cls, n_vertices: int) -> "TopologyDelta":
+        """The cheap "anything may have changed" fast path.
+
+        Nothing proportional to the mesh is allocated; :attr:`dirty_ids`
+        stays ``None`` and consumers fall back to their whole-mesh
+        maintenance (rebuild or full reconciliation).
+        """
+        return cls(n_vertices, None)
+
+    @classmethod
+    def empty(cls, n_vertices: int) -> "TopologyDelta":
+        """A step in which the connectivity did not change (skip fast path)."""
+        return cls(n_vertices, np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def sparse(
+        cls,
+        n_vertices: int,
+        dirty_ids: np.ndarray,
+        positions: np.ndarray,
+        n_vertices_added: int = 0,
+        n_cells_added: int = 0,
+        n_cells_removed: int = 0,
+    ) -> "TopologyDelta":
+        """An explicit localized change; ids are deduplicated and sorted and
+        the dirty AABB is derived from their current ``positions`` (the full
+        ``(n, 3)`` mesh position array)."""
+        ids = np.unique(np.asarray(dirty_ids, dtype=np.int64))
+        if ids.size and (ids[0] < 0 or ids[-1] >= n_vertices):
+            raise SimulationError("topology delta dirty ids out of range")
+        if n_vertices_added < 0 or n_vertices_added > n_vertices:
+            raise SimulationError("topology delta vertex-addition count out of range")
+        if ids.size == 0 and (n_vertices_added or n_cells_added or n_cells_removed):
+            raise SimulationError("topology delta with changes needs a non-empty dirty set")
+        if ids.size == 0:
+            return cls.empty(n_vertices)
+        dirty_positions = np.asarray(positions, dtype=np.float64)[ids]
+        box = Box3D(dirty_positions.min(axis=0), dirty_positions.max(axis=0))
+        return cls(n_vertices, ids, n_vertices_added, n_cells_added, n_cells_removed, box)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        """True on the "anything may have changed" fast path (no dirty set)."""
+        return self.dirty_ids is None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the step changed nothing (maintenance can be skipped)."""
+        return self.dirty_ids is not None and self.dirty_ids.size == 0
+
+    @property
+    def n_dirty(self) -> int:
+        """Number of dirty vertices (``n_vertices`` on the full path)."""
+        if self.dirty_ids is None:
+            return self.n_vertices
+        return int(self.dirty_ids.size)
+
+    def ids(self) -> np.ndarray:
+        """The dirty ids as a sorted array (materialises ``arange`` when full)."""
+        if self.dirty_ids is None:
+            return np.arange(self.n_vertices, dtype=np.int64)
+        return self.dirty_ids
+
+    def added_vertex_ids(self) -> np.ndarray:
+        """Ids of the vertices this restructuring appended (the tail range)."""
+        return np.arange(
+            self.n_vertices - self.n_vertices_added, self.n_vertices, dtype=np.int64
+        )
+
+    def as_full(self) -> "TopologyDelta":
+        """This step viewed through the delta-blind fast path.
+
+        The full-recompute reference of the restructuring-parity suite and
+        the benchmark's rebuild contender consume exactly this: the same mesh
+        state, with the change information discarded.
+        """
+        return TopologyDelta.full(self.n_vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_full:
+            shape = "full"
+        elif self.is_empty:
+            shape = "empty"
+        else:
+            shape = (
+                f"sparse[{self.n_dirty} dirty, +{self.n_vertices_added}v, "
+                f"+{self.n_cells_added}/-{self.n_cells_removed}c]"
+            )
+        return f"TopologyDelta({shape}, n_vertices={self.n_vertices})"

@@ -7,13 +7,24 @@ Figure 1(e):
 1. :meth:`ExecutionStrategy.prepare` — once, after the mesh is loaded
    (preprocessing such as building the surface index or the initial R-tree;
    reported separately, not part of query response time, as in Section V-A);
-2. :meth:`ExecutionStrategy.on_step` — after every simulation step has
+2. :meth:`ExecutionStrategy.on_restructure` — after a simulation step
+   *restructured* the mesh (cells split or removed, Section IV-E2; rare).
+   The step's :class:`~repro.core.delta.TopologyDelta` — which vertices'
+   index entries may have changed, how many vertices/cells appeared or
+   vanished — is passed in, so strategies can splice the few affected
+   entries instead of rebuilding over the whole mesh;
+3. :meth:`ExecutionStrategy.on_step` — after every simulation step has
    updated the vertex positions (index maintenance or rebuild; *included*
    in the total query response time, as in Section V-A).  The step's
    :class:`~repro.core.delta.DeformationDelta` — which vertices moved, where
    from and where to — is passed in, so strategies with incremental
    maintenance pay a cost proportional to the motion, not the mesh size;
-3. :meth:`ExecutionStrategy.query` — once per monitoring range query.
+4. :meth:`ExecutionStrategy.query` / :meth:`ExecutionStrategy.query_many` —
+   once per monitoring range query (or once per per-step batch).
+
+Both maintenance hooks charge their seconds to ``maintenance_time`` and their
+touched entries to ``maintenance_entries``, so the reported response time and
+maintenance ledger cover deformation *and* restructuring work.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..mesh import Box3D, PolyhedralMesh
-from .delta import DeformationDelta
+from .delta import DeformationDelta, TopologyDelta
 from .result import QueryCounters, QueryResult
 
 __all__ = ["ExecutionStrategy"]
@@ -51,6 +62,7 @@ class ExecutionStrategy(ABC):
     # ------------------------------------------------------------------
     @property
     def mesh(self) -> PolyhedralMesh:
+        """The mesh this strategy was prepared on (raises before prepare())."""
         if self._mesh is None:
             raise RuntimeError(f"{self.name}: prepare() has not been called")
         return self._mesh
@@ -83,6 +95,29 @@ class ExecutionStrategy(ABC):
         Returns the maintenance seconds spent for this step; the default is a
         no-op (OCTOPUS and the linear scan need no per-deformation
         maintenance).
+        """
+        return 0.0
+
+    def on_restructure(self, delta: TopologyDelta) -> float:
+        """React to the simulation having restructured the mesh connectivity.
+
+        ``delta`` describes the step's topology change (dirty vertex ids,
+        added/removed cell counts, appended vertex count, dirty AABB — or the
+        delta-blind ``full()`` fast path, see
+        :class:`~repro.core.delta.TopologyDelta`).  Strategies with
+        incremental topology maintenance key their work off it: positions and
+        pre-existing vertex ids are untouched by restructuring, so a
+        removal-only delta costs a position index nothing, and appended
+        vertices are a tail splice/insert.  A ``full()`` delta must be
+        answered with whole-mesh maintenance (rebuild or full
+        reconciliation); an ``empty()`` delta may be skipped.  **Contract:**
+        after the call the strategy answers every query against the
+        restructured mesh exactly; the parity tiers (which strategies
+        additionally reproduce the full path's counters bit-for-bit) are
+        enforced by ``tests/test_restructuring_parity.py``.
+
+        Returns the maintenance seconds spent; the default is a no-op (the
+        linear scan reads live positions and needs no structures at all).
         """
         return 0.0
 

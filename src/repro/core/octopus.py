@@ -34,7 +34,7 @@ from ..mesh import (
     points_in_boxes,
 )
 from .crawler import BatchCrawlOutcome, crawl, crawl_many
-from .delta import DeformationDelta
+from .delta import DeformationDelta, TopologyDelta
 from .directed_walk import directed_walk, fused_walk_phase
 from .executor import ExecutionStrategy
 from .result import QueryCounters, QueryResult
@@ -95,6 +95,7 @@ class OctopusExecutor(ExecutionStrategy):
 
     @property
     def surface_index(self) -> SurfaceIndex:
+        """The surface index built at prepare time (raises before prepare())."""
         if self._surface_index is None:
             raise RuntimeError("octopus: prepare() has not been called")
         return self._surface_index
@@ -109,11 +110,12 @@ class OctopusExecutor(ExecutionStrategy):
 
         Mesh *deformation* requires nothing, however many vertices the delta
         reports moved: the surface index stores ids, not positions.  If the
-        mesh was restructured since the index was built, the surface index is
-        reconciled with insert and delete operations (the paper's hash-table
-        maintenance) and the time is charged as maintenance; localized
-        restructurings can narrow that reconciliation via
-        :meth:`SurfaceIndex.refresh_from_mesh`'s ``dirty_ids``.
+        mesh was restructured since the index was built *without* the event
+        pipeline announcing it (no :meth:`on_restructure` call), the surface
+        index is reconciled here with a whole-surface diff — the safety net
+        for ad-hoc ``replace_cells`` flows; event-driven restructuring goes
+        through :meth:`on_restructure`, which narrows the reconciliation to
+        the event's dirty ids.
         """
         if self._surface_index is None or not self._surface_index.is_stale():
             return 0.0
@@ -125,10 +127,47 @@ class OctopusExecutor(ExecutionStrategy):
         self.maintenance_entries += inserted + removed
         return elapsed
 
+    def on_restructure(self, delta: TopologyDelta) -> float:
+        """Reconcile the surface index with a restructuring event.
+
+        The paper's hash-table maintenance: individual vertex ids are
+        inserted into or removed from the surface table.  A sparse delta
+        narrows the reconciliation to its dirty ids (every surface-membership
+        change lies inside them, see
+        :class:`~repro.core.delta.TopologyDelta`), through the scratch's
+        epoch-stamped delta arena, so the index work is proportional to the
+        event — only the mesh-side surface re-extraction remains global.  A
+        full delta falls back to the whole-surface diff, as does an index
+        more than one connectivity version behind or an *empty* delta on a
+        stale index (either way someone mutated connectivity outside the
+        event pipeline, and those changes' membership flips can lie outside
+        this event's dirty set — see :meth:`SurfaceIndex.versions_behind`).
+        Every path leaves the identical table, hence bit-identical queries
+        and counters.  The probe sample is re-drawn either way (the surface
+        id set may have changed).
+        """
+        if self._surface_index is None:
+            return 0.0
+        if delta.is_empty and not self._surface_index.is_stale():
+            return 0.0
+        start = time.perf_counter()
+        if delta.is_full or delta.is_empty or self._surface_index.versions_behind() > 1:
+            inserted, removed = self._surface_index.refresh_from_mesh()
+        else:
+            inserted, removed = self._surface_index.refresh_from_mesh(
+                dirty_ids=delta.dirty_ids, scratch=self.scratch
+            )
+        self._refresh_probe_sample()
+        elapsed = time.perf_counter() - start
+        self.maintenance_time += elapsed
+        self.maintenance_entries += inserted + removed
+        return elapsed
+
     # ------------------------------------------------------------------
     # query execution (Algorithm 1)
     # ------------------------------------------------------------------
     def query(self, box: Box3D) -> QueryResult:
+        """Answer one range query via Algorithm 1: probe, walk, crawl."""
         counters = QueryCounters()
 
         # Phase 1: surface probe over the (possibly sampled) surface vertex set.

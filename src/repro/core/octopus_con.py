@@ -21,7 +21,7 @@ import numpy as np
 from ..errors import QueryError
 from ..mesh import Box3D
 from .crawler import BatchCrawlOutcome, crawl, crawl_many
-from .delta import DeformationDelta
+from .delta import DeformationDelta, TopologyDelta
 from .directed_walk import directed_walk, fused_walk_phase
 from .executor import ExecutionStrategy
 from .result import QueryCounters, QueryResult
@@ -96,6 +96,7 @@ class OctopusConExecutor(ExecutionStrategy):
 
     @property
     def grid(self) -> UniformGrid:
+        """The (possibly stale) uniform grid (raises before prepare())."""
         if self._grid is None:
             raise RuntimeError("octopus-con: prepare() has not been called")
         return self._grid
@@ -131,9 +132,46 @@ class OctopusConExecutor(ExecutionStrategy):
         elif grid.n_points == self.mesh.n_vertices:
             touched = grid.rebin(self.mesh.vertices)
         else:
-            # Restructuring changed the vertex count: re-derive the geometry.
+            # Restructuring changed the vertex count behind the event
+            # pipeline's back (no on_restructure call): re-derive the
+            # geometry.
             grid.build(self.mesh.vertices)
             touched = grid.n_points
+        elapsed = time.perf_counter() - start
+        self.maintenance_time += elapsed
+        self.maintenance_entries += touched
+        return elapsed
+
+    def on_restructure(self, delta: TopologyDelta) -> float:
+        """Grid maintenance keyed off a restructuring's topology delta.
+
+        Restructuring never moves a pre-existing vertex, so the maintained
+        grids only care about *appended* vertices: in ``"incremental"`` mode
+        a sparse delta splices the new tail vertices into the frozen cell
+        geometry (:meth:`UniformGrid.append_points`) at a cost proportional
+        to the additions, and a removal-only delta costs nothing.  The
+        ``"rebuild"`` mode — and the ``full()`` fallback of either maintained
+        mode — re-bins every vertex into the *same* frozen geometry
+        (:meth:`UniformGrid.rebin`), so the incremental splice and the full
+        re-bin produce bit-identical grid arrays, hence bit-identical queries
+        and counters.  The default ``"stale"`` mode stays the paper's no-op:
+        pre-existing ids remain valid start-vertex suggestions and the
+        directed walk closes any gap.
+        """
+        if self.grid_maintenance == "stale":
+            return 0.0
+        grid = self.grid
+        start = time.perf_counter()
+        if delta.is_empty and grid.n_points == self.mesh.n_vertices:
+            touched = 0
+        elif (
+            self.grid_maintenance == "incremental"
+            and not delta.is_full
+            and grid.n_points + delta.n_vertices_added == self.mesh.n_vertices
+        ):
+            touched = grid.append_points(self.mesh.vertices[delta.added_vertex_ids()])
+        else:
+            touched = grid.rebin(self.mesh.vertices)
         elapsed = time.perf_counter() - start
         self.maintenance_time += elapsed
         self.maintenance_entries += touched
@@ -143,6 +181,7 @@ class OctopusConExecutor(ExecutionStrategy):
     # query execution
     # ------------------------------------------------------------------
     def query(self, box: Box3D) -> QueryResult:
+        """Answer one range query: grid-located start, walk, crawl."""
         counters = QueryCounters()
 
         # Locate a starting vertex near the query centre using the stale grid.

@@ -118,6 +118,7 @@ class QueryResult:
 
     @property
     def n_results(self) -> int:
+        """Number of vertices the query retrieved."""
         return int(self.vertex_ids.size)
 
     def same_vertices_as(self, other: "QueryResult") -> bool:

@@ -99,6 +99,7 @@ class WalkArena:
             )
 
     def memory_bytes(self) -> int:
+        """Current footprint of the per-query walk state arrays."""
         return int(
             self.best_distance.nbytes
             + self.best_id.nbytes

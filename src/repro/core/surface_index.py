@@ -80,6 +80,7 @@ class SurfaceIndex:
     # ------------------------------------------------------------------
     @property
     def mesh(self) -> PolyhedralMesh:
+        """The mesh this index was built over."""
         return self._mesh
 
     def __len__(self) -> int:
@@ -138,18 +139,28 @@ class SurfaceIndex:
         (the paper's hash-table maintenance).  Returns ``(inserted, removed)``.
 
         ``dirty_ids`` narrows the reconciliation to the given vertex ids —
-        for localized restructuring events (e.g. the vertices of
-        :attr:`~repro.simulation.restructuring.RestructuringEvent.affected_cells`)
-        only the dirty vertices' membership is diffed, instead of a
-        whole-surface set difference.  The caller guarantees that every
-        membership change lies inside ``dirty_ids``; vertices outside it are
-        assumed unchanged (their entries are kept as they are).  ``scratch``
-        supplies the epoch-stamped delta arena for the dirty-membership test
-        (:meth:`~repro.core.scratch.CrawlScratch.acquire_delta`), replacing
-        the sort-based ``np.isin`` with one stamp pass and one gather and
-        allocating nothing proportional to the surface.
+        for localized restructuring events (the dirty set of a
+        :class:`~repro.core.delta.TopologyDelta`, i.e. the affected cells'
+        vertices plus any inserted centroids) only the dirty vertices'
+        membership is diffed, instead of a whole-surface set difference.  The
+        caller guarantees that every membership change lies inside
+        ``dirty_ids``; vertices outside it are assumed unchanged (their
+        entries are kept as they are).  The dirty-membership test
+        binary-searches the fresh surface array (sorted by the extraction
+        contract) — O(k log s) for k dirty vertices on an s-vertex surface,
+        allocating nothing proportional to the surface; for *large* dirty
+        sets ``scratch`` supplies the epoch-stamped delta arena
+        (:meth:`~repro.core.scratch.CrawlScratch.acquire_delta`), whose one
+        stamp pass and one gather beat k binary searches once k approaches
+        the surface size.  The sorted id cache is spliced in place on the
+        narrowed path (two ``searchsorted`` passes over the few changed
+        ids), so the next probe never pays the whole-surface re-sort the
+        lazy rebuild would cost.
         """
-        fresh = np.unique(np.asarray(self._mesh.surface_vertices(), dtype=np.int64))
+        # Sorted unique by the surface-extraction contract (np.unique over
+        # the boundary faces); both the full path's set algebra and the
+        # narrowed path's binary searches rely on it.
+        fresh = np.asarray(self._mesh.surface_vertices(), dtype=np.int64)
         if dirty_ids is None:
             current = self.surface_ids()
             inserted = self.insert(np.setdiff1d(fresh, current, assume_unique=True))
@@ -158,22 +169,49 @@ class SurfaceIndex:
             self._ids_cache = fresh
         else:
             dirty = np.unique(np.asarray(dirty_ids, dtype=np.int64))
-            if scratch is not None:
+            if fresh.size == 0:
+                on_surface = np.zeros(dirty.size, dtype=bool)
+            elif scratch is not None and dirty.size * 8 > fresh.size:
                 stamps, epoch = scratch.acquire_delta(self._mesh.n_vertices)
                 stamps[fresh] = epoch
                 on_surface = stamps[dirty] == epoch
             else:
-                on_surface = np.isin(dirty, fresh, assume_unique=True)
-            inserted = self.insert(dirty[on_surface])
-            removed = self.remove(dirty[~on_surface])
-            # The table changed through insert/remove, which already dropped
-            # the id cache; it is rebuilt lazily from the table.
+                slots = np.minimum(np.searchsorted(fresh, dirty), fresh.size - 1)
+                on_surface = fresh[slots] == dirty
+            cache = self._ids_cache
+            to_insert = np.asarray(
+                [v for v in dirty[on_surface] if int(v) not in self._table], dtype=np.int64
+            )
+            to_remove = np.asarray(
+                [v for v in dirty[~on_surface] if int(v) in self._table], dtype=np.int64
+            )
+            inserted = self.insert(to_insert)
+            removed = self.remove(to_remove)
+            if cache is not None:
+                # Splice the (sorted, deduplicated) changes into the sorted
+                # cache instead of re-sorting the whole table lazily.
+                if to_remove.size:
+                    cache = np.delete(cache, np.searchsorted(cache, to_remove))
+                if to_insert.size:
+                    cache = np.insert(cache, np.searchsorted(cache, to_insert), to_insert)
+                self._ids_cache = cache
         self._connectivity_version = self._mesh.connectivity_version
         return inserted, removed
 
     def is_stale(self) -> bool:
         """True when the mesh connectivity changed since the last refresh."""
         return self._connectivity_version != self._mesh.connectivity_version
+
+    def versions_behind(self) -> int:
+        """Connectivity bumps the index has not reconciled yet.
+
+        One restructuring event corresponds to exactly one bump, so a caller
+        holding a single event's dirty set may narrow the reconciliation only
+        when this is at most 1 — a larger gap means additional, unannounced
+        connectivity changes whose membership flips can lie outside the
+        event's dirty ids, and only a whole-surface refresh is safe.
+        """
+        return self._mesh.connectivity_version - self._connectivity_version
 
     # ------------------------------------------------------------------
     # the surface probe (Section IV-C)

@@ -23,6 +23,12 @@ every maintenance path below reproduce bit-identical arrays:
   the moved vertices are re-binned, and only those whose cell actually
   changed are spliced out of / into the CSR arrays.  Produces exactly the
   arrays :meth:`rebin` would, at a cost proportional to the motion.
+* :meth:`UniformGrid.append_points` — topology-delta-keyed incremental
+  maintenance: vertices a restructuring appended to the mesh tail are binned
+  into the frozen geometry and spliced into their cells' segment ends (new
+  ids exceed every existing id, so the canonical within-cell order puts them
+  exactly there).  Produces exactly the arrays :meth:`rebin` of the grown
+  position array would, at a cost proportional to the additions.
 """
 
 from __future__ import annotations
@@ -201,6 +207,47 @@ class UniformGrid:
         self._cell_offsets = np.concatenate([[0], np.cumsum(counts)])
         return int(ids.size)
 
+    def append_points(self, new_positions: np.ndarray) -> int:
+        """Splice newly appended vertices into the CSR arrays; returns how many.
+
+        ``new_positions`` are the ``(k, 3)`` current positions of the
+        vertices that a restructuring appended to the mesh tail — their ids
+        are by contract the range ``[n_points, n_points + k)``.  Each new
+        vertex is binned into the *frozen* cell geometry and inserted at the
+        end of its cell's member segment: new ids exceed every existing id,
+        so the canonical ascending-id order within each cell puts them
+        exactly there, and the resulting arrays are bit-identical to a full
+        :meth:`rebin` of the grown position array — at a cost proportional to
+        the additions, not the mesh.
+        """
+        self._require_built()
+        pts = np.atleast_2d(np.asarray(new_positions, dtype=np.float64))
+        if pts.size == 0:
+            return 0
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise IndexError_("append_points needs a (k, 3) position array")
+        cells = self._cell_of(pts)
+        new_ids = np.arange(self.n_points, self.n_points + pts.shape[0], dtype=np.int64)
+        # Canonical (cell, id) arrival order; slots point at each target
+        # cell's segment end in the *current* arrays (np.insert resolves
+        # duplicate slots by inserting in the given order, i.e. id order).
+        order = np.lexsort((new_ids, cells))
+        slots = self._cell_offsets[cells[order] + 1]
+        self._cell_members = np.insert(self._cell_members, slots, new_ids[order])
+
+        n_cells = self.resolution**3
+        counts = np.diff(self._cell_offsets)
+        counts += np.bincount(cells, minlength=n_cells)
+        self._cell_offsets = np.concatenate([[0], np.cumsum(counts)])
+        if self._vertex_cell is not None:
+            # The per-id cell map extends in id order (the tail contract).
+            self._vertex_cell = np.concatenate([self._vertex_cell, cells])
+        # The (cell, id) member keys are strided by n_points, which just
+        # changed; drop them and let the next relocation rebuild lazily.
+        self._member_key = None
+        self.n_points += int(pts.shape[0])
+        return int(pts.shape[0])
+
     def _require_built(self) -> None:
         if not self._built:
             raise IndexError_("grid has not been built yet")
@@ -225,6 +272,7 @@ class UniformGrid:
         return self._cell_members[self._cell_offsets[flat_cell]:self._cell_offsets[flat_cell + 1]]
 
     def n_cells(self) -> int:
+        """Total number of grid cells (``resolution ** 3``)."""
         return self.resolution**3
 
     def any_vertex_near(

@@ -16,8 +16,10 @@ from .harness import (
     make_deformation,
     make_strategy,
     per_step_workload_provider,
+    restructuring_maintenance_rows,
     run_comparison,
     sparse_maintenance_rows,
+    sparsity_sweep_rows,
     strategy_suite,
     work_sharing_rows,
 )
@@ -48,8 +50,10 @@ __all__ = [
     "neuron_series",
     "per_step_workload_provider",
     "print_table",
+    "restructuring_maintenance_rows",
     "run_comparison",
     "sparse_maintenance_rows",
+    "sparsity_sweep_rows",
     "strategy_suite",
     "work_sharing_rows",
 ]

@@ -34,6 +34,7 @@ from ..simulation import (
     SimulationReport,
     SinusoidalWaveDeformation,
     SpinePulsationDeformation,
+    periodic_restructuring,
 )
 from ..workloads import QueryWorkload, random_query_workload
 
@@ -46,6 +47,8 @@ __all__ = [
     "work_sharing_rows",
     "maintenance_rows",
     "sparse_maintenance_rows",
+    "restructuring_maintenance_rows",
+    "sparsity_sweep_rows",
     "fixed_workload_provider",
     "per_step_workload_provider",
 ]
@@ -138,18 +141,22 @@ def run_comparison(
     query_provider,
     validate_results: bool = False,
     batch_queries: bool | None = None,
+    restructuring=None,
 ) -> SimulationReport:
     """Run one simulation comparing the given strategies on identical queries.
 
     ``batch_queries`` is forwarded to :class:`MeshSimulation`: ``None`` (the
     default) issues each step's boxes through the batched ``query_many`` path
     unless ``REPRO_SEQUENTIAL_QUERIES`` is set in the environment.
+    ``restructuring`` is the optional topology schedule (see
+    :func:`repro.simulation.periodic_restructuring`).
     """
     simulation = MeshSimulation(
         mesh=mesh,
         deformation=deformation,
         strategies=strategies,
         query_provider=query_provider,
+        restructuring=restructuring,
         validate_results=validate_results,
         batch_queries=batch_queries,
     )
@@ -196,7 +203,11 @@ def maintenance_rows(report: SimulationReport) -> list[dict]:
     cost proportional to the motion (the delta-aware regime), values near
     ``n_vertices / n_moved`` mean every step paid for the whole mesh (the
     delta-blind regime).  ``maintenance_share`` is maintenance's fraction of
-    the paper's total-response-time metric.
+    the paper's total-response-time metric.  Restructuring work is part of
+    the same ledger: ``restructurings`` counts the steps whose topology delta
+    changed the mesh and ``topology_dirty`` the vertices those deltas
+    dirtied, while ``maintenance_entries`` / ``maintenance_time_s`` already
+    include the ``on_restructure`` work next to the ``on_step`` work.
     """
     rows = []
     for name, strategy_report in report.strategies.items():
@@ -205,6 +216,8 @@ def maintenance_rows(report: SimulationReport) -> list[dict]:
             {
                 "strategy": name,
                 "moved_vertices": strategy_report.total_moved_vertices,
+                "restructurings": strategy_report.total_restructurings,
+                "topology_dirty": strategy_report.total_topology_dirty,
                 "maintenance_entries": strategy_report.total_maintenance_entries,
                 "entries_per_moved": strategy_report.maintenance_entries_per_moved_vertex(),
                 "maintenance_time_s": strategy_report.total_maintenance_time,
@@ -250,6 +263,96 @@ def sparse_maintenance_rows(
         query_provider=per_step_workload_provider(selectivity, queries_per_step, seed=seed),
     )
     return maintenance_rows(report)
+
+
+def restructuring_maintenance_rows(
+    profile: str = "small",
+    sparsity: float = 0.05,
+    n_steps: int = 6,
+    restructure_every: int = 2,
+    cells_per_event: int = 8,
+    queries_per_step: int = 8,
+    selectivity: float = 0.01,
+    seed: int = 0,
+) -> list[dict]:
+    """The restructuring scenario: topology deltas through ``on_restructure``.
+
+    Runs a :class:`~repro.simulation.LocalizedPulseDeformation` workload with
+    a :func:`~repro.simulation.periodic_restructuring` schedule (alternating
+    localized splits and removals every ``restructure_every`` steps, so some
+    restructurings land on zero-moved rest ticks) over the delta-aware
+    strategy set, and returns the maintenance ledger rows
+    (:func:`maintenance_rows`) — one per strategy, with the restructuring
+    columns populated.  OCTOPUS pays a handful of hash-table operations per
+    event, the maintained grid splices the appended centroids, the updatable
+    trees insert only the tail, and the throwaway octree shows the
+    rebuild-everything yardstick.
+    """
+    from .datasets import neuron_largest
+
+    mesh = neuron_largest(profile).copy()
+    strategies = [
+        make_strategy("octopus"),
+        OctopusConExecutor(grid_maintenance="incremental"),
+        make_strategy("lur-tree"),
+        make_strategy("qu-trade"),
+        make_strategy("rum-tree"),
+        make_strategy("octree"),
+    ]
+    report = run_comparison(
+        mesh,
+        strategies,
+        make_deformation("localized-pulse", sparsity=sparsity, rest_every=4, seed=seed),
+        n_steps=n_steps,
+        query_provider=per_step_workload_provider(selectivity, queries_per_step, seed=seed),
+        restructuring=periodic_restructuring(
+            every=restructure_every, kind="mixed", n_cells=cells_per_event, seed=seed
+        ),
+    )
+    return maintenance_rows(report)
+
+
+def sparsity_sweep_rows(
+    profile: str = "small",
+    sparsities: Sequence[float] = (0.01, 0.05, 0.2, 1.0),
+    n_steps: int = 4,
+    queries_per_step: int = 4,
+    selectivity: float = 0.01,
+    seed: int = 0,
+) -> list[dict]:
+    """Maintenance time vs. sparsity: the delta pipeline's headline curve.
+
+    For each sparsity level the :class:`~repro.simulation.LocalizedPulseDeformation`
+    workload is run over the delta-aware strategy set and the maintenance
+    ledger (:func:`maintenance_rows`) is collected; the returned rows carry a
+    leading ``sparsity`` column, one row per (sparsity, strategy).  Plotting
+    ``maintenance_time_s`` against ``sparsity`` shows the O(motion) vs.
+    O(mesh) separation directly: delta-aware strategies' curves fall with the
+    sparsity while rebuild-everything baselines stay flat (see
+    ``docs/performance.md``).
+    """
+    from .datasets import neuron_largest
+
+    rows: list[dict] = []
+    for sparsity in sparsities:
+        mesh = neuron_largest(profile).copy()
+        strategies = [
+            make_strategy("octopus"),
+            OctopusConExecutor(grid_maintenance="incremental"),
+            make_strategy("lur-tree"),
+            make_strategy("qu-trade"),
+            make_strategy("octree"),
+        ]
+        report = run_comparison(
+            mesh,
+            strategies,
+            make_deformation("localized-pulse", sparsity=sparsity, rest_every=4, seed=seed),
+            n_steps=n_steps,
+            query_provider=per_step_workload_provider(selectivity, queries_per_step, seed=seed),
+        )
+        for row in maintenance_rows(report):
+            rows.append({"sparsity": sparsity, **row})
+    return rows
 
 
 def work_sharing_rows(report: SimulationReport) -> list[dict]:

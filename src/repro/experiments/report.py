@@ -82,6 +82,8 @@ def format_work_sharing(
 _MAINTENANCE_COLUMNS = (
     "strategy",
     "moved_vertices",
+    "restructurings",
+    "topology_dirty",
     "maintenance_entries",
     "entries_per_moved",
     "maintenance_time_s",

@@ -199,6 +199,43 @@ class PolyhedralMesh:
         self._surface = None
         self.connectivity_version += 1
 
+    def restructure(self, vertices: np.ndarray, cells: np.ndarray) -> None:
+        """Replace vertices *and* cells in place (restructuring that adds vertices).
+
+        Cell splits insert new vertices, which :meth:`replace_cells` alone
+        cannot express (its cells may not reference ids beyond the current
+        vertex count).  This method swaps in both arrays at once, preserving
+        the two contracts the delta pipeline relies on: pre-existing vertex
+        ids keep their meaning (the new position array must extend the old
+        numbering) and new vertices occupy the appended tail.
+
+        When the vertex count is unchanged (cell removal) the positions are
+        written *into the existing array*, so holders of a direct reference
+        to :attr:`vertices` — an R-tree's captured position array, a
+        deformation model's view — stay valid.  Only a vertex-count change
+        (cell splits appending centroids) swaps the array object; holders
+        must then re-read it, which the execution strategies do in their
+        ``on_restructure`` (the tree strategies re-bind explicitly, everything
+        else fetches ``mesh.vertices`` per call).
+        """
+        vertex_arr = np.ascontiguousarray(vertices, dtype=np.float64)
+        if vertex_arr.ndim != 2 or vertex_arr.shape[1] != 3:
+            raise MeshError("replacement vertices must be an (n, 3) array")
+        cell_arr = np.ascontiguousarray(cells, dtype=np.int64)
+        if cell_arr.ndim != 2 or (self.cell_arity and cell_arr.shape[1] != self.cell_arity):
+            raise MeshError("replacement cells have the wrong shape")
+        if cell_arr.size and (cell_arr.min() < 0 or cell_arr.max() >= vertex_arr.shape[0]):
+            raise MeshConnectivityError("replacement cell vertex ids out of range")
+        if vertex_arr.shape == self._vertices.shape:
+            self._vertices[...] = vertex_arr
+        else:
+            self._vertices = vertex_arr
+        self._cells = cell_arr
+        self._adjacency = None
+        self._surface = None
+        self.connectivity_version += 1
+        self.geometry_version += 1
+
     # ------------------------------------------------------------------
     # derived geometry
     # ------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """Simulation substrate: deformation models, restructuring, monitoring, driver."""
 
-from ..core.delta import DeformationDelta
+from ..core.delta import DeformationDelta, TopologyDelta
 from .deformation import (
     AffineDeformation,
     DeformationModel,
@@ -16,7 +16,14 @@ from .monitoring import (
     StructuralValidationMonitor,
     VisualizationMonitor,
 )
-from .restructuring import RestructuringEvent, remove_cells, split_cells
+from .restructuring import (
+    RestructuringEvent,
+    periodic_restructuring,
+    remove_cells,
+    remove_cells_inplace,
+    split_cells,
+    split_cells_inplace,
+)
 from .simulator import MeshSimulation, SimulationReport, StepRecord, StrategyReport
 
 __all__ = [
@@ -36,7 +43,11 @@ __all__ = [
     "StepRecord",
     "StrategyReport",
     "StructuralValidationMonitor",
+    "TopologyDelta",
     "VisualizationMonitor",
+    "periodic_restructuring",
     "remove_cells",
+    "remove_cells_inplace",
     "split_cells",
+    "split_cells_inplace",
 ]

@@ -13,20 +13,50 @@ exercise that code path:
   mesh), which typically exposes new surface vertices.
 
 Both return a new :class:`~repro.mesh.tetrahedral.TetrahedralMesh` plus a
-:class:`RestructuringEvent` describing how the surface changed, so tests can
-check that the surface-index maintenance reproduces exactly that change.
+:class:`RestructuringEvent` describing how the surface changed and carrying
+the :class:`~repro.core.delta.TopologyDelta` that feeds the change-propagation
+lifecycle: the delta names the vertices whose index entries may have changed
+(the affected cells' vertices plus any inserted centroids), so
+:meth:`~repro.core.executor.ExecutionStrategy.on_restructure` can splice those
+few entries instead of rebuilding over the whole mesh.  Two id contracts make
+the incremental paths safe:
+
+* both operations **preserve pre-existing vertex ids** (removed cells leave
+  their vertices in place, possibly isolated);
+* new vertices are only ever **appended** — split centroids occupy the id
+  range ``[n_before, n_after)``.
+
+The ``*_inplace`` variants apply the operation to the live simulation mesh
+(via :meth:`~repro.mesh.base.PolyhedralMesh.restructure`), which is what
+:class:`~repro.simulation.simulator.MeshSimulation` drives through its
+``restructuring`` schedule; :func:`periodic_restructuring` builds such a
+schedule.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 
+from ..core.delta import TopologyDelta
 from ..errors import SimulationError
-from ..mesh import TetrahedralMesh
+from ..mesh import PolyhedralMesh, TetrahedralMesh
 
-__all__ = ["RestructuringEvent", "split_cells", "remove_cells"]
+__all__ = [
+    "RestructuringEvent",
+    "split_cells",
+    "remove_cells",
+    "split_cells_inplace",
+    "remove_cells_inplace",
+    "periodic_restructuring",
+]
+
+#: signature of a simulation restructuring schedule: ``(mesh, step)`` mutates
+#: the mesh in place and returns the step's TopologyDelta, or None when the
+#: step restructures nothing
+RestructuringSchedule = Callable[[PolyhedralMesh, int], Optional[TopologyDelta]]
 
 
 @dataclass(frozen=True)
@@ -45,6 +75,11 @@ class RestructuringEvent:
         Surface vertex ids before and after, in the *new* mesh's numbering
         (vertex ids are preserved for pre-existing vertices by both
         operations, so the two sets are directly comparable).
+    delta:
+        The :class:`~repro.core.delta.TopologyDelta` describing the change
+        for the strategy lifecycle — dirty vertex ids (affected cells'
+        vertices plus inserted centroids), added/removed cell counts, added
+        vertex count and the dirty AABB.
     """
 
     kind: str
@@ -52,6 +87,7 @@ class RestructuringEvent:
     n_new_vertices: int
     surface_vertices_before: np.ndarray
     surface_vertices_after: np.ndarray
+    delta: TopologyDelta = field(default=None)
 
     @property
     def inserted_surface_vertices(self) -> np.ndarray:
@@ -74,6 +110,17 @@ def split_cells(mesh: TetrahedralMesh, cell_ids: np.ndarray) -> tuple[Tetrahedra
     centroid of a tetrahedron is never on the surface), so the surface vertex
     set is typically unchanged — which is exactly the paper's point about how
     cheap surface-index maintenance is.
+
+    The returned event carries the :class:`~repro.core.delta.TopologyDelta`
+    whose dirty set is the split cells' vertices plus the new centroids —
+    every possible surface-membership change and every new index entry lies
+    inside it.
+
+    Note that a centroid has only four mesh edges (to its cell's corners),
+    so very small query boxes can contain a centroid without containing any
+    of its neighbours; crawl-based execution then cannot reach it (the same
+    in-box connectivity assumption that removals can break by isolating
+    vertices).  Position-index strategies are unaffected.
     """
     ids = np.unique(np.asarray(cell_ids, dtype=np.int64))
     if ids.size == 0:
@@ -99,12 +146,21 @@ def split_cells(mesh: TetrahedralMesh, cell_ids: np.ndarray) -> tuple[Tetrahedra
     new_cells = np.vstack([kept_cells, np.asarray(split_cells_list, dtype=np.int64)])
 
     new_mesh = TetrahedralMesh(new_vertices, new_cells, name=mesh.name)
+    delta = TopologyDelta.sparse(
+        new_mesh.n_vertices,
+        np.concatenate([mesh.cells[ids].ravel(), new_vertex_ids]),
+        new_mesh.vertices,
+        n_vertices_added=int(ids.size),
+        n_cells_added=4 * int(ids.size),
+        n_cells_removed=int(ids.size),
+    )
     event = RestructuringEvent(
         kind="split",
         affected_cells=ids,
         n_new_vertices=int(ids.size),
         surface_vertices_before=before,
         surface_vertices_after=new_mesh.surface_vertices(),
+        delta=delta,
     )
     return new_mesh, event
 
@@ -115,6 +171,12 @@ def remove_cells(mesh: TetrahedralMesh, cell_ids: np.ndarray) -> tuple[Tetrahedr
     Vertex ids are preserved (vertices that become isolated simply stop being
     referenced); removing boundary-adjacent cells usually promotes interior
     vertices to surface vertices, exercising the surface index's insert path.
+
+    The returned event carries the :class:`~repro.core.delta.TopologyDelta`
+    whose dirty set is the removed cells' vertices: a face exposed by the
+    removal is always a face *of a removed cell's neighbour shared with that
+    removed cell*, so its vertices belong to the removed cell too — every
+    surface-membership change lies inside the dirty set.
     """
     ids = np.unique(np.asarray(cell_ids, dtype=np.int64))
     if ids.size == 0:
@@ -128,11 +190,84 @@ def remove_cells(mesh: TetrahedralMesh, cell_ids: np.ndarray) -> tuple[Tetrahedr
     keep_mask = np.ones(mesh.n_cells, dtype=bool)
     keep_mask[ids] = False
     new_mesh = TetrahedralMesh(mesh.vertices.copy(), mesh.cells[keep_mask], name=mesh.name)
+    delta = TopologyDelta.sparse(
+        new_mesh.n_vertices,
+        mesh.cells[ids].ravel(),
+        new_mesh.vertices,
+        n_cells_removed=int(ids.size),
+    )
     event = RestructuringEvent(
         kind="remove",
         affected_cells=ids,
         n_new_vertices=0,
         surface_vertices_before=before,
         surface_vertices_after=new_mesh.surface_vertices(),
+        delta=delta,
     )
     return new_mesh, event
+
+
+def split_cells_inplace(mesh: TetrahedralMesh, cell_ids: np.ndarray) -> RestructuringEvent:
+    """Split cells on the live mesh: :func:`split_cells` applied in place.
+
+    The mesh's vertex and cell arrays are swapped for the refined ones (via
+    :meth:`~repro.mesh.base.PolyhedralMesh.restructure`, bumping the
+    connectivity version) and the event — delta included — is returned, ready
+    to be handed to every strategy's ``on_restructure``.
+    """
+    new_mesh, event = split_cells(mesh, cell_ids)
+    mesh.restructure(new_mesh.vertices, new_mesh.cells)
+    return event
+
+
+def remove_cells_inplace(mesh: TetrahedralMesh, cell_ids: np.ndarray) -> RestructuringEvent:
+    """Remove cells from the live mesh: :func:`remove_cells` applied in place."""
+    new_mesh, event = remove_cells(mesh, cell_ids)
+    mesh.restructure(new_mesh.vertices, new_mesh.cells)
+    return event
+
+
+def periodic_restructuring(
+    every: int = 4,
+    kind: str = "split",
+    n_cells: int = 4,
+    seed: int = 0,
+) -> RestructuringSchedule:
+    """A simulation restructuring schedule firing every ``every``-th step.
+
+    At each firing step a seeded draw picks ``n_cells`` cells that are
+    contiguous in cell-id order (a spatially coherent clump on meshes with a
+    structured cell layout — the "localized restructuring" workload) and
+    splits or removes them in place, returning the operation's
+    :class:`~repro.core.delta.TopologyDelta`; other steps return ``None``.
+
+    ``kind`` is ``"split"``, ``"remove"`` or ``"mixed"`` (alternating,
+    starting with a split).  Removal schedules never erode the mesh below
+    ``n_cells + 1`` cells.
+    """
+    if every < 1:
+        raise SimulationError("restructuring period must be at least 1")
+    if kind not in ("split", "remove", "mixed"):
+        raise SimulationError("restructuring kind must be 'split', 'remove' or 'mixed'")
+    if n_cells < 1:
+        raise SimulationError("n_cells must be at least 1")
+
+    def schedule(mesh: PolyhedralMesh, step: int) -> TopologyDelta | None:
+        if step % every != 0:
+            return None
+        operation = kind
+        if kind == "mixed":
+            operation = "split" if (step // every) % 2 == 1 else "remove"
+        count = min(n_cells, mesh.n_cells - 1)
+        if count < 1 or (operation == "remove" and mesh.n_cells <= n_cells + 1):
+            return None
+        rng = np.random.default_rng(seed + step)
+        offset = int(rng.integers(0, mesh.n_cells - count + 1))
+        cell_ids = np.arange(offset, offset + count, dtype=np.int64)
+        if operation == "split":
+            event = split_cells_inplace(mesh, cell_ids)
+        else:
+            event = remove_cells_inplace(mesh, cell_ids)
+        return event.delta
+
+    return schedule

@@ -1,13 +1,18 @@
-"""The simulation driver: deform, maintain, query — step after step.
+"""The simulation driver: restructure, deform, maintain, query — step by step.
 
 :class:`MeshSimulation` reproduces the timeline of Figure 1(e): at every time
-step the deformation model overwrites all vertex positions in place, every
-registered execution strategy performs whatever maintenance it needs, and the
-per-step range queries are executed by every strategy on the *same* data and
-the *same* boxes so the comparison is apples-to-apples.  The paper's headline
-metric — total query response time, i.e. query execution plus index
-maintenance/rebuilding summed over all steps, with one-time preprocessing
-reported separately — is what :class:`SimulationReport` accumulates.
+step the optional restructuring schedule may split or remove cells in place,
+the deformation model overwrites vertex positions in place, every registered
+execution strategy performs whatever maintenance it needs (consuming the
+step's :class:`~repro.core.delta.TopologyDelta` and
+:class:`~repro.core.delta.DeformationDelta`), and the per-step range queries
+are executed by every strategy on the *same* data and the *same* boxes so the
+comparison is apples-to-apples.  The paper's headline metric — total query
+response time, i.e. query execution plus index maintenance/rebuilding summed
+over all steps, with one-time preprocessing reported separately — is what
+:class:`SimulationReport` accumulates; restructuring maintenance is charged to
+the same ledger (``maintenance_time`` / ``maintenance_entries``) as
+deformation maintenance.
 """
 
 from __future__ import annotations
@@ -19,12 +24,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.delta import DeformationDelta
+from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
 from ..core.result import QueryCounters
 from ..errors import SimulationError
 from ..mesh import Box3D, PolyhedralMesh
 from .deformation import DeformationModel
+from .restructuring import RestructuringSchedule
 
 __all__ = ["StepRecord", "StrategyReport", "SimulationReport", "MeshSimulation"]
 
@@ -47,7 +53,12 @@ class StepRecord:
     #: vertices the step's deformation delta reported as moved
     n_moved: int = 0
     #: index entries this strategy's maintenance touched for this step
+    #: (deformation *and* restructuring work)
     maintenance_entries: int = 0
+    #: whether this step restructured the mesh (a topology delta was applied)
+    restructured: bool = False
+    #: vertices the step's topology delta reported as dirty (0 when none)
+    n_topology_dirty: int = 0
 
 
 @dataclass
@@ -63,7 +74,12 @@ class StrategyReport:
     #: moved vertices summed over the deformation deltas of all steps
     total_moved_vertices: int = 0
     #: index entries touched by this strategy's maintenance over all steps
+    #: (deformation and restructuring work combined)
     total_maintenance_entries: int = 0
+    #: steps whose topology delta restructured the mesh
+    total_restructurings: int = 0
+    #: dirty vertices summed over the topology deltas of all steps
+    total_topology_dirty: int = 0
     memory_overhead_bytes: int = 0
     counters: QueryCounters = field(default_factory=QueryCounters)
     steps: list[StepRecord] = field(default_factory=list)
@@ -152,6 +168,20 @@ class MeshSimulation:
     query_provider:
         Callable producing the per-step query boxes; all strategies execute
         exactly the same boxes.
+    restructuring:
+        Optional restructuring schedule ``(mesh, step) -> TopologyDelta |
+        None`` run at the *start* of each step, before the deformation model.
+        The schedule mutates the mesh in place (e.g. via
+        :func:`~repro.simulation.restructuring.split_cells_inplace`) and
+        returns the step's topology delta, which is handed to every
+        strategy's :meth:`~repro.core.executor.ExecutionStrategy.on_restructure`
+        — restructuring maintenance is charged to the same per-step ledger as
+        deformation maintenance.  After a non-empty topology delta the
+        deformation model is re-bound to the mesh (its base positions and
+        vertex ordering are re-anchored to the restructured state), so
+        whole-mesh models keep working across vertex-count changes.
+        :func:`~repro.simulation.restructuring.periodic_restructuring` builds
+        common schedules.
     validate_results:
         When True, every strategy's result is checked against the first
         strategy's result for equality (used in tests; adds linear-scan-like
@@ -175,6 +205,7 @@ class MeshSimulation:
         deformation: DeformationModel,
         strategies: Sequence[ExecutionStrategy],
         query_provider: QueryProvider,
+        restructuring: RestructuringSchedule | None = None,
         validate_results: bool = False,
         batch_queries: bool | None = None,
     ) -> None:
@@ -187,6 +218,7 @@ class MeshSimulation:
         self.deformation = deformation
         self.strategies = list(strategies)
         self.query_provider = query_provider
+        self.restructuring = restructuring
         self.validate_results = validate_results
         if batch_queries is None:
             flag = os.environ.get("REPRO_SEQUENTIAL_QUERIES", "")
@@ -215,13 +247,36 @@ class MeshSimulation:
         return SimulationReport(n_steps=n_steps, strategies=dict(self._reports))
 
     def step(self, step: int) -> None:
-        """Execute one simulation step: deform, maintain, query.
+        """Execute one simulation step: restructure, deform, maintain, query.
 
-        The deformation model's :class:`~repro.core.delta.DeformationDelta`
-        is handed to every strategy's ``on_step``, and the per-step records
-        keep both sides of the motion ledger: how many vertices moved and how
-        many index entries each strategy touched to keep up.
+        The restructuring schedule (when given) runs first and may mutate the
+        mesh connectivity in place; its
+        :class:`~repro.core.delta.TopologyDelta` and the deformation model's
+        :class:`~repro.core.delta.DeformationDelta` are handed to every
+        strategy's ``on_restructure`` / ``on_step``, and the per-step records
+        keep all sides of the change ledger: how many vertices moved, how
+        many were dirtied by restructuring, and how many index entries each
+        strategy touched to keep up.
         """
+        topology = None
+        if self.restructuring is not None:
+            topology = self.restructuring(self.mesh, step)
+            if topology is not None and not isinstance(topology, TopologyDelta):
+                raise SimulationError(
+                    "restructuring schedule must return a TopologyDelta or None "
+                    "(the delta-aware lifecycle contract)"
+                )
+            if topology is not None and topology.n_vertices != self.mesh.n_vertices:
+                raise SimulationError(
+                    "restructuring schedule returned a TopologyDelta that does not "
+                    "match the mesh it mutated"
+                )
+            if topology is not None and not topology.is_empty:
+                # Re-anchor the deformation model to the restructured mesh:
+                # base positions and vertex ordering are re-derived from the
+                # current state, so whole-mesh models survive vertex-count
+                # changes.
+                self.deformation.bind(self.mesh)
         delta = self.deformation.apply(step)
         if not isinstance(delta, DeformationDelta):
             raise SimulationError(
@@ -234,7 +289,10 @@ class MeshSimulation:
         for index, strategy in enumerate(self.strategies):
             report = self._reports[strategy.name]
             entries_before = strategy.maintenance_entries
-            maintenance = strategy.on_step(delta)
+            maintenance = 0.0
+            if topology is not None:
+                maintenance += strategy.on_restructure(topology)
+            maintenance += strategy.on_step(delta)
             step_entries = strategy.maintenance_entries - entries_before
 
             step_counters = QueryCounters()
@@ -292,6 +350,10 @@ class MeshSimulation:
             report.counters += step_counters
             report.total_moved_vertices += delta.n_moved
             report.total_maintenance_entries += step_entries
+            restructured = topology is not None and not topology.is_empty
+            if restructured:
+                report.total_restructurings += 1
+                report.total_topology_dirty += topology.n_dirty
             report.steps.append(
                 StepRecord(
                     step=step,
@@ -303,5 +365,7 @@ class MeshSimulation:
                     batched=self.batch_queries,
                     n_moved=delta.n_moved,
                     maintenance_entries=step_entries,
+                    restructured=restructured,
+                    n_topology_dirty=topology.n_dirty if restructured else 0,
                 )
             )

@@ -20,14 +20,15 @@ class TestParser:
 class TestExperimentRegistry:
     def test_every_registered_name_maps_to_a_driver(self):
         # Every figure family of the paper's evaluation is reachable from the
-        # CLI, plus the sparse-deformation maintenance scenario.
+        # CLI, plus the maintenance-pipeline scenarios (sparse deformation,
+        # restructuring, and the sparsity sweep).
         expected = {
             "figure4", "figure5", "figure6",
             "figure7-detail", "figure7-results", "figure7-steps", "figure7-selectivity",
             "figure9-convex", "figure9-grid",
             "figure10-breakdown", "figure10-footprint",
             "figure11", "figure12", "figure13", "figure14", "figure15",
-            "sparse-maintenance",
+            "sparse-maintenance", "restructuring-maintenance", "sparsity-sweep",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -237,3 +237,39 @@ class TestMaintenanceLedger:
         # the rebuild-everything octree on a sparse workload.
         assert by_name["octopus-con"]["maintenance_entries"] < by_name["octree"]["maintenance_entries"]
         assert by_name["rum-tree"]["maintenance_entries"] < by_name["octree"]["maintenance_entries"]
+
+    def test_restructuring_maintenance_scenario_rows(self):
+        from repro.experiments import restructuring_maintenance_rows
+
+        rows = restructuring_maintenance_rows(
+            "tiny", n_steps=4, restructure_every=2, cells_per_event=4, queries_per_step=2
+        )
+        names = {row["strategy"] for row in rows}
+        assert {"octopus", "octopus-con", "lur-tree", "qu-trade", "rum-tree", "octree"} == names
+        by_name = {row["strategy"]: row for row in rows}
+        # Every strategy saw the same restructuring events, and the
+        # incrementally maintained strategies touch far fewer entries than
+        # the rebuild-everything octree.
+        assert all(row["restructurings"] == 2 for row in rows)
+        assert all(row["topology_dirty"] > 0 for row in rows)
+        assert by_name["octopus"]["maintenance_entries"] < by_name["octree"]["maintenance_entries"]
+        assert by_name["octopus-con"]["maintenance_entries"] < by_name["octree"]["maintenance_entries"]
+
+    def test_sparsity_sweep_rows(self):
+        from repro.experiments import sparsity_sweep_rows
+
+        rows = sparsity_sweep_rows(
+            "tiny", sparsities=(0.02, 0.5), n_steps=2, queries_per_step=2
+        )
+        # One row per (sparsity, strategy), sparsity leading.
+        assert {row["sparsity"] for row in rows} == {0.02, 0.5}
+        per_level = {row["sparsity"] for row in rows}
+        assert len(rows) == 5 * len(per_level)
+        moved = {
+            sparsity: next(
+                row["moved_vertices"] for row in rows if row["sparsity"] == sparsity
+            )
+            for sparsity in per_level
+        }
+        # More sparsity knob -> more motion reported by the deltas.
+        assert moved[0.5] > moved[0.02]
