@@ -29,6 +29,10 @@ random mesh vertices, microbenchmark-B selectivity):
   bulk reload), for OCTOPUS's surface index, OCTOPUS-CON's maintained grid
   and the LUR-Tree, on rounds of localized cell splits.  The gated
   ``speedup`` is again the minimum across strategies.
+* **paranoid overhead** — a clean run through the paranoid
+  :class:`ResilientStrategy` wrapper against the bare strategy (same deltas,
+  same queries).  The gated ``speedup`` is ``plain_s / paranoid_s``, so a
+  floor of 0.9 caps the wrapper's validation tax at roughly 10%.
 
 Writes a perf record to ``BENCH_query_engine.json`` at the repository root so
 future PRs can track the trajectory, and prints the same numbers.  Run it
@@ -70,6 +74,7 @@ from repro.core import (  # noqa: E402
     CrawlScratch,
     OctopusConExecutor,
     OctopusExecutor,
+    ResilientStrategy,
     crawl,
     crawl_many,
     directed_walk,
@@ -115,6 +120,14 @@ RESTRUCTURE_ROUNDS = 4
 RESTRUCTURE_CELLS = 8
 RESTRUCTURE_REPS = 3
 
+#: paranoid-overhead scenario: a clean run through the paranoid wrapper —
+#: the floor gates how much the O(dirty) audits may cost on the fast path
+PARANOID_MESH_RESOLUTION = 48
+PARANOID_STEPS = 6
+PARANOID_REPS = 3
+PARANOID_FRACTION = 0.02
+PARANOID_QUERIES = 8
+
 #: which record section holds each floor-gated scenario's speedup
 FLOOR_SCENARIOS = {
     "batched": "batched_vs_sequential",
@@ -123,6 +136,7 @@ FLOOR_SCENARIOS = {
     "fused_walk": "fused_vs_sequential_walk",
     "sparse_maintenance": "sparse_deformation_maintenance",
     "restructuring_maintenance": "restructuring_maintenance",
+    "paranoid_overhead": "paranoid_overhead",
 }
 
 
@@ -455,6 +469,72 @@ def bench_restructuring_maintenance() -> dict:
     }
 
 
+def bench_paranoid_overhead() -> dict:
+    """Paranoid :class:`ResilientStrategy` wrapper vs. the bare strategy.
+
+    Both contenders are OCTOPUS-CON with incremental grid maintenance, driven
+    through the same clean sparse-deformation steps and per-step query
+    batches.  The recorded ``speedup`` is ``plain_s / paranoid_s`` — at most
+    ~1.0 by construction, since the wrapper only *adds* O(dirty) delta
+    validation and dispatch indirection on top of the same work.  The CI
+    floor (0.9) therefore caps the paranoid tax at roughly 10% of the fast
+    path; the run asserts the ladder never fires (a degradation would make
+    the ratio meaningless).
+    """
+    base_mesh = neuron_mesh(PARANOID_MESH_RESOLUTION, name="paranoid-bench")
+
+    def run_once() -> tuple[float, float]:
+        mesh = base_mesh.copy()
+        plain = OctopusConExecutor(grid_maintenance="incremental")
+        paranoid = ResilientStrategy(
+            OctopusConExecutor(grid_maintenance="incremental"), paranoid=True
+        )
+        plain.prepare(mesh)
+        paranoid.prepare(mesh)
+        model = LocalizedPulseDeformation(
+            sparsity=PARANOID_FRACTION, amplitude=0.002, seed=3
+        )
+        model.bind(mesh)
+        boxes = random_query_workload(
+            mesh, selectivity=0.005, n_queries=PARANOID_QUERIES, seed=5
+        ).boxes
+        # Warm both contenders before timing: the first query pays mesh-side
+        # lazy construction (CSR adjacency, surface caches) shared via the
+        # mesh, which would otherwise land entirely on whoever runs first.
+        plain.query_many(boxes)
+        paranoid.query_many(boxes)
+        plain_s = paranoid_s = 0.0
+        for step in range(1, PARANOID_STEPS + 1):
+            delta = model.apply(step)
+            start = time.perf_counter()
+            plain.on_step(delta)
+            plain.query_many(boxes)
+            plain_s += time.perf_counter() - start
+            start = time.perf_counter()
+            paranoid.on_step(delta)
+            paranoid.query_many(boxes)
+            paranoid_s += time.perf_counter() - start
+        assert not paranoid.drain_degradation_events()  # the run really was clean
+        return plain_s, paranoid_s
+
+    best_plain_s = best_paranoid_s = None
+    for _ in range(PARANOID_REPS):
+        plain_s, paranoid_s = run_once()
+        if best_plain_s is None or plain_s < best_plain_s:
+            best_plain_s = plain_s
+        if best_paranoid_s is None or paranoid_s < best_paranoid_s:
+            best_paranoid_s = paranoid_s
+    return {
+        "mesh_vertices": base_mesh.n_vertices,
+        "n_steps": PARANOID_STEPS,
+        "n_queries": PARANOID_QUERIES,
+        "reps": PARANOID_REPS,
+        "plain_s": best_plain_s,
+        "paranoid_s": best_paranoid_s,
+        "speedup": best_plain_s / max(best_paranoid_s, 1e-12),
+    }
+
+
 def parse_floors(spec: str) -> dict[str, float]:
     """Parse ``REPRO_BENCH_FLOORS`` (``name=min_speedup`` pairs, comma-separated)."""
     floors: dict[str, float] = {}
@@ -514,6 +594,7 @@ def run(profile: str | None = None) -> dict:
         "fused_vs_sequential_walk": bench_fused_vs_sequential_walk(mesh),
         "sparse_deformation_maintenance": bench_sparse_deformation_maintenance(),
         "restructuring_maintenance": bench_restructuring_maintenance(),
+        "paranoid_overhead": bench_paranoid_overhead(),
     }
     return record
 
@@ -560,6 +641,11 @@ def _print_record(record: dict) -> None:
         )
     print(
         f"restructuring maintenance (min across strategies): {restructuring['speedup']:.2f}x"
+    )
+    paranoid = record["paranoid_overhead"]
+    print(
+        f"paranoid overhead: {paranoid['plain_s'] * 1e3:.2f} ms -> "
+        f"{paranoid['paranoid_s'] * 1e3:.2f} ms  ({paranoid['speedup']:.2f}x)"
     )
 
 
@@ -634,6 +720,15 @@ def test_query_engine_benchmark(profile, record_rows):
             "speedup": entry["speedup"],
         }
         for name, entry in restructuring["strategies"].items()
+    )
+    paranoid = record["paranoid_overhead"]
+    rows.append(
+        {
+            "comparison": "paranoid wrapper overhead",
+            "baseline_s": paranoid["plain_s"],
+            "optimized_s": paranoid["paranoid_s"],
+            "speedup": paranoid["speedup"],
+        }
     )
     record_rows("bench_query_engine", rows, "Query engine microbenchmark")
     failures = _check_floors_from_env(record)

@@ -35,21 +35,28 @@ from .core import (
     DeformationDelta,
     OctopusConExecutor,
     OctopusExecutor,
+    QueryBudget,
     QueryCounters,
     QueryResult,
+    ResilientStrategy,
     SurfaceIndex,
     TopologyDelta,
     calibrate_cost_model,
 )
 from .errors import (
+    DegradedExecutionError,
+    DeltaValidationError,
     ExperimentError,
+    FaultInjectionError,
     GeometryError,
     IndexError_,
     MeshConnectivityError,
     MeshError,
+    QueryBudgetExceeded,
     QueryError,
     ReproError,
     SimulationError,
+    SpatialIndexError,
     WorkloadError,
 )
 from .mesh import Box3D, HexahedralMesh, PolyhedralMesh, TetrahedralMesh, TriangleMesh
@@ -60,7 +67,10 @@ __all__ = [
     "Box3D",
     "CostModel",
     "DeformationDelta",
+    "DegradedExecutionError",
+    "DeltaValidationError",
     "ExperimentError",
+    "FaultInjectionError",
     "GeometryError",
     "HexahedralMesh",
     "IndexError_",
@@ -72,11 +82,15 @@ __all__ = [
     "OctopusExecutor",
     "PolyhedralMesh",
     "QUTradeExecutor",
+    "QueryBudget",
+    "QueryBudgetExceeded",
     "QueryCounters",
     "QueryError",
     "QueryResult",
     "ReproError",
+    "ResilientStrategy",
     "SimulationError",
+    "SpatialIndexError",
     "SurfaceIndex",
     "TetrahedralMesh",
     "ThrowawayGridExecutor",

@@ -12,8 +12,11 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+import numpy as np
+
 from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
+from ..core.resilience import check_query_box, check_query_boxes
 from ..core.result import QueryCounters, QueryResult
 from ..core.uniform_grid import UniformGrid
 from ..mesh import Box3D
@@ -33,6 +36,10 @@ class ThrowawayGridExecutor(ExecutionStrategy):
 
     def _build(self) -> float:
         self._grid = UniformGrid(self.resolution)
+        if self.mesh.n_vertices == 0:
+            # Empty meshes carry no grid; queries short-circuit to empty
+            # results (consistent degenerate handling across strategies).
+            return 0.0
         return self._grid.build(self.mesh.vertices)
 
     @property
@@ -47,6 +54,8 @@ class ThrowawayGridExecutor(ExecutionStrategy):
         The skip is guarded by the built size: a restructuring that changed
         the vertex set forces a rebuild even on a zero-motion step.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         if delta.n_moved == 0 and self.grid.n_points == self.mesh.n_vertices:
             return 0.0
         elapsed = self.grid.build(self.mesh.vertices)
@@ -62,6 +71,8 @@ class ThrowawayGridExecutor(ExecutionStrategy):
         appended vertices skips the rebuild entirely; splits (or a full
         delta) rebuild over the grown vertex array.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         if (
             not delta.is_full
             and delta.n_vertices_added == 0
@@ -74,7 +85,10 @@ class ThrowawayGridExecutor(ExecutionStrategy):
         return elapsed
 
     def query(self, box: Box3D) -> QueryResult:
+        check_query_box(box)
         counters = QueryCounters()
+        if self.mesh.n_vertices == 0:
+            return QueryResult(vertex_ids=np.empty(0, dtype=np.int64), counters=counters)
         start = time.perf_counter()
         ids = self.grid.query(box, self.mesh.vertices, counters)
         elapsed = time.perf_counter() - start
@@ -88,10 +102,13 @@ class ThrowawayGridExecutor(ExecutionStrategy):
         Results and counters are identical to sequential :meth:`query` calls;
         the shared gather's wall-clock is apportioned evenly.
         """
+        box_list = check_query_boxes(boxes)
+        if self.mesh.n_vertices == 0:
+            return [self.query(box) for box in box_list]
         return self._shared_index_batch(
-            boxes,
-            lambda box_list, counters: self.grid.query_many(
-                box_list, self.mesh.vertices, counters
+            box_list,
+            lambda batch, counters: self.grid.query_many(
+                batch, self.mesh.vertices, counters
             ),
         )
 

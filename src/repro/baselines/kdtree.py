@@ -14,8 +14,9 @@ import numpy as np
 
 from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
+from ..core.resilience import check_query_box, check_query_boxes
 from ..core.result import QueryCounters, QueryResult
-from ..errors import IndexError_
+from ..errors import SpatialIndexError
 from ..mesh import Box3D, boxes_to_arrays, points_in_box, points_in_boxes
 
 __all__ = ["KDTree", "ThrowawayKDTreeExecutor"]
@@ -37,7 +38,7 @@ class KDTree:
 
     def __init__(self, bucket_size: int = 128) -> None:
         if bucket_size < 1:
-            raise IndexError_("bucket_size must be at least 1")
+            raise SpatialIndexError("bucket_size must be at least 1")
         self.bucket_size = bucket_size
         self.root: _KDNode | None = None
         self.n_nodes = 0
@@ -48,7 +49,7 @@ class KDTree:
         start = time.perf_counter()
         pts = np.asarray(positions, dtype=np.float64)
         if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
-            raise IndexError_("kd-tree build needs a non-empty (n, 3) position array")
+            raise SpatialIndexError("kd-tree build needs a non-empty (n, 3) position array")
         self.n_points = pts.shape[0]
         self.n_nodes = 0
         self.root = self._build_node(pts, np.arange(pts.shape[0], dtype=np.int64), 0)
@@ -79,7 +80,7 @@ class KDTree:
         self, box: Box3D, positions: np.ndarray, counters: QueryCounters | None = None
     ) -> np.ndarray:
         if self.root is None:
-            raise IndexError_("kd-tree has not been built")
+            raise SpatialIndexError("kd-tree has not been built")
         pts = np.asarray(positions)
         found: list[np.ndarray] = []
         nodes_visited = 0
@@ -120,7 +121,7 @@ class KDTree:
         if not box_list:
             return []
         if self.root is None:
-            raise IndexError_("kd-tree has not been built")
+            raise SpatialIndexError("kd-tree has not been built")
         pts = np.asarray(positions)
         los, his = boxes_to_arrays(box_list)
         n_queries = len(box_list)
@@ -184,6 +185,10 @@ class ThrowawayKDTreeExecutor(ExecutionStrategy):
 
     def _build(self) -> float:
         self._tree = KDTree(bucket_size=self.bucket_size)
+        if self.mesh.n_vertices == 0:
+            # Empty meshes carry no tree; queries short-circuit to empty
+            # results (consistent degenerate handling across strategies).
+            return 0.0
         return self._tree.build(self.mesh.vertices)
 
     @property
@@ -198,6 +203,8 @@ class ThrowawayKDTreeExecutor(ExecutionStrategy):
         The skip is guarded by the built size: a restructuring that changed
         the vertex set forces a rebuild even on a zero-motion step.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         if delta.n_moved == 0 and self.kdtree.n_points == self.mesh.n_vertices:
             return 0.0
         elapsed = self.kdtree.build(self.mesh.vertices)
@@ -212,6 +219,8 @@ class ThrowawayKDTreeExecutor(ExecutionStrategy):
         appended vertices skips the rebuild; splits (or a full delta) rebuild
         over the grown vertex array.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         if (
             not delta.is_full
             and delta.n_vertices_added == 0
@@ -224,7 +233,10 @@ class ThrowawayKDTreeExecutor(ExecutionStrategy):
         return elapsed
 
     def query(self, box: Box3D) -> QueryResult:
+        check_query_box(box)
         counters = QueryCounters()
+        if self.mesh.n_vertices == 0:
+            return QueryResult(vertex_ids=np.empty(0, dtype=np.int64), counters=counters)
         start = time.perf_counter()
         ids = self.kdtree.query(box, self.mesh.vertices, counters)
         elapsed = time.perf_counter() - start
@@ -238,10 +250,13 @@ class ThrowawayKDTreeExecutor(ExecutionStrategy):
         Results and counters are identical to sequential :meth:`query` calls;
         the shared descent's wall-clock is apportioned evenly.
         """
+        box_list = check_query_boxes(boxes)
+        if self.mesh.n_vertices == 0:
+            return [self.query(box) for box in box_list]
         return self._shared_index_batch(
-            boxes,
-            lambda box_list, counters: self.kdtree.query_many(
-                box_list, self.mesh.vertices, counters
+            box_list,
+            lambda batch, counters: self.kdtree.query_many(
+                batch, self.mesh.vertices, counters
             ),
         )
 

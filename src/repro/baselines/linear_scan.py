@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.executor import ExecutionStrategy
+from ..core.resilience import check_query_box, check_query_boxes
 from ..core.result import QueryCounters, QueryResult
 from ..mesh import Box3D, box_batch_chunk, boxes_to_arrays, points_in_box, points_in_boxes
 
@@ -26,6 +27,7 @@ class LinearScanExecutor(ExecutionStrategy):
     name = "linear-scan"
 
     def query(self, box: Box3D) -> QueryResult:
+        check_query_box(box)
         mesh = self.mesh
         counters = QueryCounters()
         start = time.perf_counter()
@@ -46,7 +48,7 @@ class LinearScanExecutor(ExecutionStrategy):
         Chunked over the box axis to bound the broadcast; results and counters
         are identical to sequential :meth:`query` calls.
         """
-        box_list = list(boxes)
+        box_list = check_query_boxes(boxes)
         if len(box_list) <= 1:
             return [self.query(box) for box in box_list]
         mesh = self.mesh

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
+from ..core.resilience import check_query_box, check_query_boxes
 from ..core.result import QueryCounters, QueryResult
 from ..mesh import Box3D
 from .rtree import RTree, RTreeNode
@@ -62,6 +63,11 @@ class LURTreeExecutor(ExecutionStrategy):
     # ------------------------------------------------------------------
     def _build(self) -> float:
         self._tree = RTree(fanout=self.fanout)
+        if self.mesh.n_vertices == 0:
+            # Empty meshes carry no tree; queries short-circuit to empty
+            # results (consistent degenerate handling across strategies).
+            self._extension_distance = 0.0
+            return 0.0
         seconds = self._tree.bulk_load(self.mesh.vertices)
         diagonal = float(np.linalg.norm(self.mesh.bounding_box().extents))
         self._extension_distance = self.extension_fraction * diagonal
@@ -87,6 +93,8 @@ class LURTreeExecutor(ExecutionStrategy):
         same escapees, apply the same extensions, and relocate the far movers
         in the same ascending-id order, leaving bit-identical tree state.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         tree = self.tree
         positions = self.mesh.vertices
         start = time.perf_counter()
@@ -126,12 +134,18 @@ class LURTreeExecutor(ExecutionStrategy):
         than an STR re-pack, so the restructuring-parity suite holds this
         strategy to result parity (not counter parity) across split events.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         tree = self.tree
         positions = self.mesh.vertices
         start = time.perf_counter()
         touched = 0
         n = positions.shape[0]
-        if not delta.is_full and len(tree._leaf_of) + delta.n_vertices_added == n:
+        if (
+            not delta.is_full
+            and len(tree._leaf_of)
+            and len(tree._leaf_of) + delta.n_vertices_added == n
+        ):
             # The mesh preserves the position array object across
             # equal-count restructurings, but re-bind defensively either way
             # so every later MBR recompute reads the live array.
@@ -231,7 +245,10 @@ class LURTreeExecutor(ExecutionStrategy):
     # querying
     # ------------------------------------------------------------------
     def query(self, box: Box3D) -> QueryResult:
+        check_query_box(box)
         counters = QueryCounters()
+        if self.mesh.n_vertices == 0:
+            return QueryResult(vertex_ids=np.empty(0, dtype=np.int64), counters=counters)
         start = time.perf_counter()
         ids = self.tree.query(box, self.mesh.vertices, counters)
         elapsed = time.perf_counter() - start
@@ -245,10 +262,13 @@ class LURTreeExecutor(ExecutionStrategy):
         Results and counters are identical to sequential :meth:`query` calls;
         the shared traversal's wall-clock is apportioned evenly.
         """
+        box_list = check_query_boxes(boxes)
+        if self.mesh.n_vertices == 0:
+            return [self.query(box) for box in box_list]
         return self._shared_index_batch(
-            boxes,
-            lambda box_list, counters: self.tree.query_many(
-                box_list, self.mesh.vertices, counters
+            box_list,
+            lambda batch, counters: self.tree.query_many(
+                batch, self.mesh.vertices, counters
             ),
         )
 

@@ -17,8 +17,9 @@ import numpy as np
 
 from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
+from ..core.resilience import check_query_box, check_query_boxes
 from ..core.result import QueryCounters, QueryResult
-from ..errors import IndexError_
+from ..errors import SpatialIndexError
 from ..mesh import Box3D, boxes_to_arrays, points_in_box, points_in_boxes
 
 __all__ = ["Octree", "ThrowawayOctreeExecutor"]
@@ -39,7 +40,7 @@ class Octree:
 
     def __init__(self, bucket_size: int = 256, max_depth: int = 16) -> None:
         if bucket_size < 1:
-            raise IndexError_("bucket_size must be at least 1")
+            raise SpatialIndexError("bucket_size must be at least 1")
         self.bucket_size = bucket_size
         self.max_depth = max_depth
         self.root: _OctreeNode | None = None
@@ -51,7 +52,7 @@ class Octree:
         start = time.perf_counter()
         pts = np.asarray(positions, dtype=np.float64)
         if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
-            raise IndexError_("octree build needs a non-empty (n, 3) position array")
+            raise SpatialIndexError("octree build needs a non-empty (n, 3) position array")
         lo = pts.min(axis=0)
         hi = pts.max(axis=0)
         self.n_points = pts.shape[0]
@@ -93,7 +94,7 @@ class Octree:
         self, box: Box3D, positions: np.ndarray, counters: QueryCounters | None = None
     ) -> np.ndarray:
         if self.root is None:
-            raise IndexError_("octree has not been built")
+            raise SpatialIndexError("octree has not been built")
         pts = np.asarray(positions)
         stack = [self.root]
         found: list[np.ndarray] = []
@@ -133,7 +134,7 @@ class Octree:
         if not box_list:
             return []
         if self.root is None:
-            raise IndexError_("octree has not been built")
+            raise SpatialIndexError("octree has not been built")
         pts = np.asarray(positions)
         los, his = boxes_to_arrays(box_list)
         n_queries = len(box_list)
@@ -196,6 +197,10 @@ class ThrowawayOctreeExecutor(ExecutionStrategy):
 
     def _build(self) -> float:
         self._octree = Octree(bucket_size=self.bucket_size)
+        if self.mesh.n_vertices == 0:
+            # Empty meshes carry no tree; queries short-circuit to empty
+            # results (consistent degenerate handling across strategies).
+            return 0.0
         return self._octree.build(self.mesh.vertices)
 
     @property
@@ -213,6 +218,8 @@ class ThrowawayOctreeExecutor(ExecutionStrategy):
         guarded by the built size: a restructuring that changed the vertex
         set forces a rebuild even on a zero-motion step.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         if delta.n_moved == 0 and self.octree.n_points == self.mesh.n_vertices:
             return 0.0
         elapsed = self.octree.build(self.mesh.vertices)
@@ -227,6 +234,8 @@ class ThrowawayOctreeExecutor(ExecutionStrategy):
         appended vertices skips the rebuild; splits (or a full delta) rebuild
         over the grown vertex array.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         if (
             not delta.is_full
             and delta.n_vertices_added == 0
@@ -239,7 +248,10 @@ class ThrowawayOctreeExecutor(ExecutionStrategy):
         return elapsed
 
     def query(self, box: Box3D) -> QueryResult:
+        check_query_box(box)
         counters = QueryCounters()
+        if self.mesh.n_vertices == 0:
+            return QueryResult(vertex_ids=np.empty(0, dtype=np.int64), counters=counters)
         start = time.perf_counter()
         ids = self.octree.query(box, self.mesh.vertices, counters)
         elapsed = time.perf_counter() - start
@@ -253,10 +265,13 @@ class ThrowawayOctreeExecutor(ExecutionStrategy):
         Results and counters are identical to sequential :meth:`query` calls;
         the shared traversal's wall-clock is apportioned evenly.
         """
+        box_list = check_query_boxes(boxes)
+        if self.mesh.n_vertices == 0:
+            return [self.query(box) for box in box_list]
         return self._shared_index_batch(
-            boxes,
-            lambda box_list, counters: self.octree.query_many(
-                box_list, self.mesh.vertices, counters
+            box_list,
+            lambda batch, counters: self.octree.query_many(
+                batch, self.mesh.vertices, counters
             ),
         )
 

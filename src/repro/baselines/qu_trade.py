@@ -22,8 +22,9 @@ import numpy as np
 
 from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
+from ..core.resilience import check_query_box, check_query_boxes
 from ..core.result import QueryCounters, QueryResult
-from ..errors import IndexError_
+from ..errors import SpatialIndexError
 from ..mesh import Box3D
 from .rtree import RTree
 
@@ -46,7 +47,7 @@ class QUTradeExecutor(ExecutionStrategy):
     def __init__(self, window_fraction: float = 0.05, fanout: int = 110) -> None:
         super().__init__()
         if window_fraction < 0:
-            raise IndexError_("window_fraction must be non-negative")
+            raise SpatialIndexError("window_fraction must be non-negative")
         self.window_fraction = window_fraction
         self.fanout = fanout
         self._tree: RTree | None = None
@@ -57,6 +58,11 @@ class QUTradeExecutor(ExecutionStrategy):
     # ------------------------------------------------------------------
     def _build(self) -> float:
         self._tree = RTree(fanout=self.fanout)
+        if self.mesh.n_vertices == 0:
+            # Empty meshes carry no tree; queries short-circuit to empty
+            # results (consistent degenerate handling across strategies).
+            self._window = 0.0
+            return 0.0
         seconds = self._tree.bulk_load(self.mesh.vertices)
         diagonal = float(np.linalg.norm(self.mesh.bounding_box().extents))
         self._window = self.window_fraction * diagonal
@@ -85,7 +91,7 @@ class QUTradeExecutor(ExecutionStrategy):
         the original tuning advisor.
         """
         if per_step_displacement < 0 or not 0 < target_update_fraction <= 1:
-            raise IndexError_("invalid tuning parameters")
+            raise SpatialIndexError("invalid tuning parameters")
         self._window = max(self._window, per_step_displacement / target_update_fraction)
 
     def on_step(self, delta: DeformationDelta) -> float:
@@ -98,6 +104,8 @@ class QUTradeExecutor(ExecutionStrategy):
         all-leaves scan.  Both paths find the same escapees and relocate them
         in ascending-id order, leaving bit-identical tree state.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         tree = self.tree
         positions = self.mesh.vertices
         window = self._window
@@ -149,12 +157,18 @@ class QUTradeExecutor(ExecutionStrategy):
         different tree shape than an STR re-pack, so the restructuring-parity
         suite holds this strategy to result parity across split events.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         tree = self.tree
         positions = self.mesh.vertices
         start = time.perf_counter()
         touched = 0
         n = positions.shape[0]
-        if not delta.is_full and len(tree._leaf_of) + delta.n_vertices_added == n:
+        if (
+            not delta.is_full
+            and len(tree._leaf_of)
+            and len(tree._leaf_of) + delta.n_vertices_added == n
+        ):
             # The mesh preserves the position array object across
             # equal-count restructurings, but re-bind defensively either way
             # so every later MBR recompute reads the live array.
@@ -175,7 +189,10 @@ class QUTradeExecutor(ExecutionStrategy):
     # querying
     # ------------------------------------------------------------------
     def query(self, box: Box3D) -> QueryResult:
+        check_query_box(box)
         counters = QueryCounters()
+        if self.mesh.n_vertices == 0:
+            return QueryResult(vertex_ids=np.empty(0, dtype=np.int64), counters=counters)
         start = time.perf_counter()
         ids = self.tree.query(
             box, self.mesh.vertices, counters, mbr_expansion=self._window
@@ -192,10 +209,13 @@ class QUTradeExecutor(ExecutionStrategy):
         sequential :meth:`query`; results and counters are identical, with
         the shared traversal's wall-clock apportioned evenly.
         """
+        box_list = check_query_boxes(boxes)
+        if self.mesh.n_vertices == 0:
+            return [self.query(box) for box in box_list]
         return self._shared_index_batch(
-            boxes,
-            lambda box_list, counters: self.tree.query_many(
-                box_list, self.mesh.vertices, counters, mbr_expansion=self._window
+            box_list,
+            lambda batch, counters: self.tree.query_many(
+                batch, self.mesh.vertices, counters, mbr_expansion=self._window
             ),
         )
 

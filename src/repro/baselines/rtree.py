@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.result import QueryCounters
-from ..errors import IndexError_
+from ..errors import SpatialIndexError
 from ..mesh import Box3D, boxes_to_arrays, points_in_box, points_in_boxes
 
 __all__ = ["RTree", "RTreeNode"]
@@ -94,7 +94,7 @@ class RTree:
 
     def __init__(self, fanout: int = 110) -> None:
         if fanout < 4:
-            raise IndexError_("R-tree fanout must be at least 4")
+            raise SpatialIndexError("R-tree fanout must be at least 4")
         self.fanout = fanout
         self.root: Optional[RTreeNode] = None
         self._positions: Optional[np.ndarray] = None
@@ -110,7 +110,7 @@ class RTree:
         start = time.perf_counter()
         pts = np.asarray(positions, dtype=np.float64)
         if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
-            raise IndexError_("bulk_load needs a non-empty (n, 3) position array")
+            raise SpatialIndexError("bulk_load needs a non-empty (n, 3) position array")
         self._positions = pts
         ids = np.arange(pts.shape[0], dtype=np.int64)
         leaf_groups = self._str_partition(ids, pts)
@@ -183,7 +183,7 @@ class RTree:
 
     def _require_built(self) -> RTreeNode:
         if self.root is None or self._positions is None:
-            raise IndexError_("R-tree has not been bulk loaded")
+            raise SpatialIndexError("R-tree has not been bulk loaded")
         return self.root
 
     # ------------------------------------------------------------------
@@ -195,7 +195,7 @@ class RTree:
         try:
             return self._leaf_of[int(entry_id)]
         except KeyError as exc:
-            raise IndexError_(f"entry {entry_id} is not in the R-tree") from exc
+            raise SpatialIndexError(f"entry {entry_id} is not in the R-tree") from exc
 
     def rebind_positions(self, positions: np.ndarray) -> None:
         """Re-point the tree at a grown position array (mesh restructuring).
@@ -210,7 +210,7 @@ class RTree:
         """
         pts = np.asarray(positions, dtype=np.float64)
         if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] < len(self._leaf_of):
-            raise IndexError_("rebind_positions needs an (n, 3) array covering every entry")
+            raise SpatialIndexError("rebind_positions needs an (n, 3) array covering every entry")
         self._positions = pts
 
     def delete(self, entry_id: int) -> None:

@@ -23,8 +23,9 @@ import numpy as np
 
 from ..core.delta import DeformationDelta, TopologyDelta
 from ..core.executor import ExecutionStrategy
+from ..core.resilience import check_query_box, check_query_boxes
 from ..core.result import QueryCounters, QueryResult
-from ..errors import IndexError_
+from ..errors import SpatialIndexError
 from ..mesh import Box3D
 from .rtree import RTree
 
@@ -48,7 +49,7 @@ class RUMTreeExecutor(ExecutionStrategy):
     def __init__(self, fanout: int = 110, garbage_threshold: float = 2.0) -> None:
         super().__init__()
         if garbage_threshold <= 0:
-            raise IndexError_("garbage_threshold must be positive")
+            raise SpatialIndexError("garbage_threshold must be positive")
         self.fanout = fanout
         self.garbage_threshold = garbage_threshold
         self._tree: RTree | None = None
@@ -78,7 +79,10 @@ class RUMTreeExecutor(ExecutionStrategy):
         self._memo = np.arange(n, dtype=np.int64)
         self._n_obsolete = 0
         self._tree = RTree(fanout=self.fanout)
-        self._tree.bulk_load(self._stored_positions)
+        if n:
+            self._tree.bulk_load(self._stored_positions)
+        # An empty mesh keeps the tree unbuilt; queries short-circuit to
+        # empty results (consistent degenerate handling across strategies).
 
     @property
     def tree(self) -> RTree:
@@ -107,6 +111,8 @@ class RUMTreeExecutor(ExecutionStrategy):
         behaviour (Section II-A of the OCTOPUS paper), and either way query
         results equal the exact current-position answer.
         """
+        if self.mesh.n_vertices == 0:
+            return 0.0
         start = time.perf_counter()
         mesh = self.mesh
         n = mesh.n_vertices
@@ -194,7 +200,10 @@ class RUMTreeExecutor(ExecutionStrategy):
     # querying
     # ------------------------------------------------------------------
     def query(self, box: Box3D) -> QueryResult:
+        check_query_box(box)
         counters = QueryCounters()
+        if self.mesh.n_vertices == 0:
+            return QueryResult(vertex_ids=np.empty(0, dtype=np.int64), counters=counters)
         start = time.perf_counter()
         keys = self.tree.query(box, self._stored_positions, counters)
         vertex_ids = self._filter_obsolete(keys)
@@ -217,11 +226,14 @@ class RUMTreeExecutor(ExecutionStrategy):
         Results and counters are identical to sequential :meth:`query` calls;
         the shared traversal's wall-clock is apportioned evenly.
         """
+        box_list = check_query_boxes(boxes)
+        if self.mesh.n_vertices == 0:
+            return [self.query(box) for box in box_list]
         return self._shared_index_batch(
-            boxes,
-            lambda box_list, counters: [
+            box_list,
+            lambda batch, counters: [
                 self._filter_obsolete(keys)
-                for keys in self.tree.query_many(box_list, self._stored_positions, counters)
+                for keys in self.tree.query_many(batch, self._stored_positions, counters)
             ],
         )
 

@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 from .experiments import format_table
 from .experiments import figures as figure_drivers
 from .experiments.harness import (
+    fault_injection_rows,
     restructuring_maintenance_rows,
     sparse_maintenance_rows,
     sparsity_sweep_rows,
@@ -109,6 +110,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[str], list[dict]], str]] = {
     "sparsity-sweep": (
         lambda profile: sparsity_sweep_rows(profile),
         "Sparsity sweep — maintenance time vs fraction of vertices moving",
+    ),
+    "fault-injection": (
+        lambda profile: fault_injection_rows(profile),
+        "Fault injection — degradation ledger under a seeded chaos plan",
     ),
 }
 

@@ -8,6 +8,17 @@ from .directed_walk import BatchWalkOutcome, WalkOutcome, directed_walk, directe
 from .executor import ExecutionStrategy
 from .octopus import OctopusExecutor
 from .octopus_con import OctopusConExecutor
+from .resilience import (
+    FallbackEvent,
+    QueryBudget,
+    ResilientStrategy,
+    audit_adjacency,
+    audit_surface_index,
+    check_query_box,
+    check_query_boxes,
+    validate_delta,
+    validate_topology_delta,
+)
 from .result import QueryCounters, QueryResult
 from .scratch import CrawlScratch, WalkArena
 from .surface_index import SurfaceIndex, SurfaceProbeOutcome
@@ -22,20 +33,29 @@ __all__ = [
     "CrawlScratch",
     "DeformationDelta",
     "ExecutionStrategy",
+    "FallbackEvent",
     "OctopusConExecutor",
     "OctopusExecutor",
+    "QueryBudget",
     "QueryCounters",
     "QueryResult",
+    "ResilientStrategy",
     "SurfaceIndex",
     "SurfaceProbeOutcome",
     "TopologyDelta",
     "UniformGrid",
     "WalkArena",
     "WalkOutcome",
+    "audit_adjacency",
+    "audit_surface_index",
     "calibrate_cost_model",
+    "check_query_box",
+    "check_query_boxes",
     "crawl",
     "crawl_many",
     "directed_walk",
     "directed_walk_many",
     "evaluate_surface_approximation",
+    "validate_delta",
+    "validate_topology_delta",
 ]

@@ -39,7 +39,7 @@ mesh or the batch.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -47,6 +47,9 @@ from ..mesh import Box3D, PolyhedralMesh, boxes_to_arrays, csr_gather, points_bo
 from .crawler import BatchCrawlOutcome, _gather_neighbors
 from .result import QueryCounters
 from .scratch import CrawlScratch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime cycle)
+    from .resilience import BudgetTracker
 
 __all__ = [
     "directed_walk",
@@ -72,14 +75,26 @@ class WalkOutcome:
     path:
         The best vertex id after each step, in order (useful for debugging and
         visual examples).  Distances along the path strictly decrease.
+    complete:
+        ``False`` when a query budget truncated the walk before it either
+        entered the box or got stuck — ``found_id is None`` is then "ran out
+        of budget", not "the query misses the mesh".  A walk that *found* its
+        target is complete even if the budget ran out on the same round.
     """
 
-    __slots__ = ("found_id", "n_steps", "path")
+    __slots__ = ("found_id", "n_steps", "path", "complete")
 
-    def __init__(self, found_id: int | None, n_steps: int, path: list[int]) -> None:
+    def __init__(
+        self,
+        found_id: int | None,
+        n_steps: int,
+        path: list[int],
+        complete: bool = True,
+    ) -> None:
         self.found_id = found_id
         self.n_steps = n_steps
         self.path = path
+        self.complete = complete
 
 
 class BatchWalkOutcome:
@@ -150,6 +165,7 @@ def directed_walk(
     max_steps: int | None = None,
     beam_width: int = 1,
     scratch: CrawlScratch | None = None,
+    budget: "BudgetTracker | None" = None,
 ) -> WalkOutcome:
     """Greedy beam walk along mesh edges towards the query box.
 
@@ -175,6 +191,11 @@ def directed_walk(
     scratch:
         Optional shared arena whose gather buffers the CSR neighbour gather
         reuses.
+    budget:
+        Optional :class:`~repro.core.resilience.BudgetTracker` charged once
+        per round with that round's distance evaluations (the round that
+        crosses the limit is fully counted, then the walk stops).  The fused
+        :func:`directed_walk_many` truncates at the identical round.
     """
     if beam_width < 1:
         raise ValueError("beam_width must be at least 1")
@@ -196,13 +217,19 @@ def directed_walk(
     path = [best_id]
 
     found: int | None = best_id if best_distance == 0.0 else None
-    while found is None and n_steps < limit:
+    truncated = False
+    if budget is not None and not budget.spend(distances=int(starts.size)):
+        truncated = True
+    while not truncated and found is None and n_steps < limit:
         neighbors = _gather_neighbors(indptr, indices, frontier, scratch)
         if neighbors.size == 0:
             break
         candidates = np.unique(neighbors)
         distances = points_box_distance(positions[candidates], box)
         n_distance += int(candidates.size)
+        if budget is not None and not budget.spend(distances=int(candidates.size)):
+            truncated = True
+            break
         improving = distances < best_distance
         if not improving.any():
             # No candidate is strictly closer: the walk is stuck, meaning the
@@ -222,7 +249,7 @@ def directed_walk(
     if counters is not None:
         counters.walk_vertices_visited += n_steps
         counters.walk_distance_computations += n_distance
-    return WalkOutcome(found, n_steps, path)
+    return WalkOutcome(found, n_steps, path, complete=found is not None or not truncated)
 
 
 def _pair_distances(
@@ -255,6 +282,7 @@ def directed_walk_many(
     max_steps: int | None = None,
     beam_width: int = 1,
     scratch: CrawlScratch | None = None,
+    budgets: "Sequence[BudgetTracker | None] | None" = None,
 ) -> BatchWalkOutcome:
     """Fused greedy beam walks for a whole batch of query boxes.
 
@@ -282,6 +310,10 @@ def directed_walk_many(
     scratch:
         Reusable arena providing the per-query :class:`WalkArena` rows and
         gather buffers; a throwaway arena is allocated when omitted.
+    budgets:
+        Optional per-query :class:`~repro.core.resilience.BudgetTracker`
+        records (entries may be ``None``); each query truncates (or raises)
+        on exactly the round its sequential :func:`directed_walk` would.
     """
     if beam_width < 1:
         raise ValueError("beam_width must be at least 1")
@@ -293,6 +325,10 @@ def directed_walk_many(
     if counters_list is not None and len(counters_list) != len(box_list):
         raise ValueError(
             f"directed_walk_many: {len(box_list)} boxes but {len(counters_list)} counter records"
+        )
+    if budgets is not None and len(budgets) != len(box_list):
+        raise ValueError(
+            f"directed_walk_many: {len(box_list)} boxes but {len(budgets)} budget trackers"
         )
     batch = BatchWalkOutcome()
     if not box_list:
@@ -325,6 +361,21 @@ def directed_walk_many(
     active[:n_queries] = False
     frontier_len[:n_queries] = 0
     paths: list[list[int]] = [[] for _ in range(n_queries)]
+    truncated = np.zeros(n_queries, dtype=bool)
+
+    def charge_budget(query: int, n_evaluations: int) -> bool:
+        """Charge one round's distance evaluations; False deactivates the walk.
+
+        Same placement as the sequential walk: the crossing round is fully
+        counted, then the walk stops before gathering another frontier.
+        """
+        if budgets is None or budgets[query] is None:
+            return True
+        if budgets[query].spend(distances=n_evaluations):
+            return True
+        truncated[query] = True
+        active[query] = False
+        return False
 
     def select_beam(query: int, candidates: np.ndarray, distances: np.ndarray) -> None:
         """Accept a step for ``query`` from its candidate segment.
@@ -371,6 +422,7 @@ def directed_walk_many(
             segment = distances[offset : offset + starts.size]
             n_distance[query] = starts.size
             select_beam(query, starts, segment)
+            charge_budget(query, int(starts.size))
             offset += starts.size
 
     # Lockstep rounds: one union gather + one distance kernel per round, then
@@ -422,6 +474,8 @@ def directed_walk_many(
             candidates = pair_vertices[end - size : end]
             segment = distances[end - size : end]
             n_distance[query] += size
+            if not charge_budget(query, size):
+                continue
             improving = segment < best_distance[query]
             if not improving.any():
                 # No candidate is strictly closer: stuck (Algorithm 1 reports
@@ -433,7 +487,10 @@ def directed_walk_many(
     for query in range(n_queries):
         steps = int(n_steps[query])
         outcome = WalkOutcome(
-            int(found[query]) if found[query] >= 0 else None, steps, paths[query]
+            int(found[query]) if found[query] >= 0 else None,
+            steps,
+            paths[query],
+            complete=bool(found[query] >= 0 or not truncated[query]),
         )
         batch.outcomes.append(outcome)
         if counters_list is not None and counters_list[query] is not None and steps:
@@ -449,6 +506,7 @@ def fused_walk_phase(
     start_ids: Sequence[int | np.ndarray | None],
     counters_list: Sequence[QueryCounters],
     scratch: CrawlScratch,
+    budgets: "Sequence[BudgetTracker | None] | None" = None,
 ) -> tuple[list[float], dict[int, np.ndarray], BatchWalkOutcome | None]:
     """The batched executors' walk phase: one fused walk over selected boxes.
 
@@ -458,6 +516,8 @@ def fused_walk_phase(
     wall-clock apportioned evenly over the boxes that walked, 0.0 elsewhere),
     the crawl start vertices produced by successful walks (keyed by box
     index), and the :class:`BatchWalkOutcome` — ``None`` when nothing walked.
+    ``budgets`` (when given) is indexed by *box*, like ``start_ids``; each
+    walking box's tracker is threaded through to the fused walk.
     """
     walk_times = [0.0] * len(box_list)
     if not walk_indices:
@@ -469,6 +529,7 @@ def fused_walk_phase(
         [start_ids[i] for i in walk_indices],
         [counters_list[i] for i in walk_indices],
         scratch=scratch,
+        budgets=[budgets[i] for i in walk_indices] if budgets is not None else None,
     )
     shared_time = (time.perf_counter() - walk_start) / len(walk_indices)
     crawl_starts: dict[int, np.ndarray] = {}

@@ -31,13 +31,16 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from ..mesh import Box3D, PolyhedralMesh
 from .delta import DeformationDelta, TopologyDelta
 from .result import QueryCounters, QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime cycle)
+    from .resilience import QueryBudget
 
 __all__ = ["ExecutionStrategy"]
 
@@ -56,6 +59,25 @@ class ExecutionStrategy(ABC):
         self.maintenance_time = 0.0
         #: cumulative number of index entries touched by maintenance
         self.maintenance_entries = 0
+        #: optional per-query resource limits
+        #: (:class:`~repro.core.resilience.QueryBudget`); ``None`` = unbounded.
+        #: OCTOPUS and OCTOPUS-CON enforce it inside their walk/crawl round
+        #: loops; for other strategies wrap in
+        #: :class:`~repro.core.resilience.ResilientStrategy` to get at least
+        #: post-hoc enforcement via the degradation ladder.
+        self.query_budget: "QueryBudget | None" = None
+
+    def set_query_budget(self, budget: "QueryBudget | None") -> None:
+        """Install (or clear) the per-query resource limits for this strategy."""
+        self.query_budget = budget
+
+    def _start_budget(self, step: int | None = None, query_index: int | None = None):
+        """A fresh per-query tracker from :attr:`query_budget` (or ``None``)."""
+        if self.query_budget is None:
+            return None
+        return self.query_budget.start(
+            strategy=self.name, step=step, query_index=query_index
+        )
 
     # ------------------------------------------------------------------
     # lifecycle

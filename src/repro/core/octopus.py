@@ -37,6 +37,7 @@ from .crawler import BatchCrawlOutcome, crawl, crawl_many
 from .delta import DeformationDelta, TopologyDelta
 from .directed_walk import directed_walk, fused_walk_phase
 from .executor import ExecutionStrategy
+from .resilience import check_query_box, check_query_boxes
 from .result import QueryCounters, QueryResult
 from .scratch import CrawlScratch
 from .surface_index import SurfaceIndex
@@ -167,7 +168,13 @@ class OctopusExecutor(ExecutionStrategy):
     # query execution (Algorithm 1)
     # ------------------------------------------------------------------
     def query(self, box: Box3D) -> QueryResult:
-        """Answer one range query via Algorithm 1: probe, walk, crawl."""
+        """Answer one range query via Algorithm 1: probe, walk, crawl.
+
+        When a :attr:`~repro.core.executor.ExecutionStrategy.query_budget` is
+        installed, one tracker meters the walk and crawl phases together (the
+        probe is bounded by the surface size and stays unbudgeted).
+        """
+        check_query_box(box)
         counters = QueryCounters()
 
         # Phase 1: surface probe over the (possibly sampled) surface vertex set.
@@ -184,21 +191,27 @@ class OctopusExecutor(ExecutionStrategy):
         start_vertices: np.ndarray,
         closest_id: int | None,
         counters: QueryCounters,
-    ) -> tuple[np.ndarray, float]:
+        budget=None,
+    ) -> tuple[np.ndarray, float, bool]:
         """Phase 2 of Algorithm 1 (shared by the sequential and batched paths).
 
         On a probe miss, walks from the closest surface vertex towards the
-        box; returns the (possibly updated) crawl start vertices and the walk
-        seconds.
+        box; returns the (possibly updated) crawl start vertices, the walk
+        seconds, and whether the walk ran to completion (budgets may truncate
+        it).
         """
         walk_time = 0.0
+        complete = True
         if start_vertices.size == 0 and closest_id is not None:
             walk_start = time.perf_counter()
-            walk = directed_walk(self.mesh, box, closest_id, counters, scratch=self.scratch)
+            walk = directed_walk(
+                self.mesh, box, closest_id, counters, scratch=self.scratch, budget=budget
+            )
             walk_time = time.perf_counter() - walk_start
+            complete = walk.complete
             if walk.found_id is not None:
                 start_vertices = np.asarray([walk.found_id], dtype=np.int64)
-        return start_vertices, walk_time
+        return start_vertices, walk_time, complete
 
     def _walk_and_crawl(
         self,
@@ -210,10 +223,13 @@ class OctopusExecutor(ExecutionStrategy):
     ) -> QueryResult:
         """Phases 2–3 of Algorithm 1 for one box (the sequential tail)."""
         mesh = self.mesh
-        start_vertices, walk_time = self._walk_for_start(box, start_vertices, closest_id, counters)
+        budget = self._start_budget()
+        start_vertices, walk_time, walk_complete = self._walk_for_start(
+            box, start_vertices, closest_id, counters, budget
+        )
 
         crawl_start = time.perf_counter()
-        outcome = crawl(mesh, box, start_vertices, counters, scratch=self.scratch)
+        outcome = crawl(mesh, box, start_vertices, counters, scratch=self.scratch, budget=budget)
         crawl_time = time.perf_counter() - crawl_start
         return QueryResult(
             vertex_ids=outcome.result_ids,
@@ -222,6 +238,7 @@ class OctopusExecutor(ExecutionStrategy):
             walk_time=walk_time,
             crawl_time=crawl_time,
             total_time=probe_time + walk_time + crawl_time,
+            complete=walk_complete and outcome.complete,
         )
 
     def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
@@ -239,7 +256,7 @@ class OctopusExecutor(ExecutionStrategy):
         and crawl wall-clock is apportioned evenly across the batch (walk
         time across the boxes that walked).
         """
-        box_list = list(boxes)
+        box_list = check_query_boxes(boxes)
         self.last_fused_crawl = None  # set again below iff this batch fuses
         if len(box_list) <= 1:
             return [self.query(box) for box in box_list]
@@ -297,21 +314,35 @@ class OctopusExecutor(ExecutionStrategy):
             counters_list.append(counters)
             crawl_starts.append(start_vertices)
 
+        # One tracker per query, shared by its walk and crawl phases — the
+        # same metering a sequential query() applies.
+        budgets = None
+        if self.query_budget is not None:
+            budgets = [self._start_budget(query_index=i) for i in range(len(box_list))]
+
         walk_times, walk_starts, walk_batch = fused_walk_phase(
-            mesh, box_list, walk_indices, closest_ids, counters_list, self.scratch
+            mesh, box_list, walk_indices, closest_ids, counters_list, self.scratch, budgets
         )
         for index, start_vertices in walk_starts.items():
             crawl_starts[index] = start_vertices
+        walk_complete = [True] * len(box_list)
+        if walk_batch is not None:
+            for index, walk in zip(walk_indices, walk_batch.outcomes):
+                walk_complete[index] = walk.complete
 
         crawl_start = time.perf_counter()
-        batch = crawl_many(mesh, box_list, crawl_starts, counters_list, scratch=self.scratch)
+        batch = crawl_many(
+            mesh, box_list, crawl_starts, counters_list, scratch=self.scratch, budgets=budgets
+        )
         crawl_time = (time.perf_counter() - crawl_start) / len(box_list)
         if walk_batch is not None:
             walk_batch.attach_to(batch)
         self.last_fused_crawl = batch
 
         results: list[QueryResult] = []
-        for outcome, counters, walk_time in zip(batch.outcomes, counters_list, walk_times):
+        for index, (outcome, counters, walk_time) in enumerate(
+            zip(batch.outcomes, counters_list, walk_times)
+        ):
             results.append(
                 QueryResult(
                     vertex_ids=outcome.result_ids,
@@ -320,6 +351,7 @@ class OctopusExecutor(ExecutionStrategy):
                     walk_time=walk_time,
                     crawl_time=crawl_time,
                     total_time=probe_time + walk_time + crawl_time,
+                    complete=walk_complete[index] and outcome.complete,
                 )
             )
         return results

@@ -24,6 +24,7 @@ from .crawler import BatchCrawlOutcome, crawl, crawl_many
 from .delta import DeformationDelta, TopologyDelta
 from .directed_walk import directed_walk, fused_walk_phase
 from .executor import ExecutionStrategy
+from .resilience import check_query_box, check_query_boxes
 from .result import QueryCounters, QueryResult
 from .scratch import CrawlScratch
 from .uniform_grid import UniformGrid
@@ -92,6 +93,10 @@ class OctopusConExecutor(ExecutionStrategy):
     # ------------------------------------------------------------------
     def _build(self) -> float:
         self._grid = UniformGrid(self.grid_resolution)
+        if self.mesh.n_vertices == 0:
+            # Empty meshes carry no grid; queries short-circuit to empty
+            # results (consistent degenerate handling across strategies).
+            return 0.0
         return self._grid.build(self.mesh.vertices)
 
     @property
@@ -100,6 +105,15 @@ class OctopusConExecutor(ExecutionStrategy):
         if self._grid is None:
             raise RuntimeError("octopus-con: prepare() has not been called")
         return self._grid
+
+    def _ensure_grid(self) -> UniformGrid:
+        """The grid, lazily derived if prepare() ran on an empty mesh."""
+        grid = self.grid
+        if grid.n_points == 0 and self.mesh.n_vertices > 0:
+            # Prepared on an empty mesh (no geometry to freeze then); derive
+            # it on first use and charge it to preprocessing like prepare().
+            self.preprocessing_time += grid.build(self.mesh.vertices)
+        return grid
 
     def on_step(self, delta: DeformationDelta) -> float:
         """Grid maintenance keyed off the step's deformation delta.
@@ -160,10 +174,17 @@ class OctopusConExecutor(ExecutionStrategy):
         """
         if self.grid_maintenance == "stale":
             return 0.0
+        if self.mesh.n_vertices == 0:
+            return 0.0
         grid = self.grid
         start = time.perf_counter()
         if delta.is_empty and grid.n_points == self.mesh.n_vertices:
             touched = 0
+        elif grid.n_points == 0:
+            # The executor was prepared on an empty mesh (no grid geometry to
+            # splice into); derive it now that vertices exist.
+            grid.build(self.mesh.vertices)
+            touched = grid.n_points
         elif (
             self.grid_maintenance == "incremental"
             and not delta.is_full
@@ -181,12 +202,20 @@ class OctopusConExecutor(ExecutionStrategy):
     # query execution
     # ------------------------------------------------------------------
     def query(self, box: Box3D) -> QueryResult:
-        """Answer one range query: grid-located start, walk, crawl."""
+        """Answer one range query: grid-located start, walk, crawl.
+
+        When a :attr:`~repro.core.executor.ExecutionStrategy.query_budget` is
+        installed, one tracker meters the walk and crawl together (the grid
+        lookup is bounded by the grid resolution and stays unbudgeted).
+        """
+        check_query_box(box)
         counters = QueryCounters()
+        if self.mesh.n_vertices == 0:
+            return QueryResult(vertex_ids=np.empty(0, dtype=np.int64), counters=counters)
 
         # Locate a starting vertex near the query centre using the stale grid.
         locate_start = time.perf_counter()
-        start_id = self.grid.any_vertex_near(box.center, counters)
+        start_id = self._ensure_grid().any_vertex_near(box.center, counters)
         locate_time = time.perf_counter() - locate_start
 
         return self._walk_and_crawl(box, start_id, counters, locate_time)
@@ -196,22 +225,28 @@ class OctopusConExecutor(ExecutionStrategy):
         box: Box3D,
         start_id: int | None,
         counters: QueryCounters,
-    ) -> tuple[np.ndarray, float]:
+        budget=None,
+    ) -> tuple[np.ndarray, float, bool]:
         """Directed-walk phase (shared by the sequential and batched paths).
 
         Walks from the grid-suggested vertex towards the box; returns the
         crawl start vertices (empty when the walk got stuck or the grid was
-        empty) and the walk seconds.
+        empty), the walk seconds, and whether the walk ran to completion
+        (budgets may truncate it).
         """
         walk_time = 0.0
+        complete = True
         start_vertices = np.empty(0, dtype=np.int64)
         if start_id is not None:
             walk_start = time.perf_counter()
-            walk = directed_walk(self.mesh, box, start_id, counters, scratch=self.scratch)
+            walk = directed_walk(
+                self.mesh, box, start_id, counters, scratch=self.scratch, budget=budget
+            )
             walk_time = time.perf_counter() - walk_start
+            complete = walk.complete
             if walk.found_id is not None:
                 start_vertices = np.asarray([walk.found_id], dtype=np.int64)
-        return start_vertices, walk_time
+        return start_vertices, walk_time, complete
 
     def _walk_and_crawl(
         self,
@@ -222,10 +257,13 @@ class OctopusConExecutor(ExecutionStrategy):
     ) -> QueryResult:
         """Walk-then-crawl tail for one box (the sequential path)."""
         mesh = self.mesh
-        start_vertices, walk_time = self._walk_for_start(box, start_id, counters)
+        budget = self._start_budget()
+        start_vertices, walk_time, walk_complete = self._walk_for_start(
+            box, start_id, counters, budget
+        )
 
         crawl_start = time.perf_counter()
-        outcome = crawl(mesh, box, start_vertices, counters, scratch=self.scratch)
+        outcome = crawl(mesh, box, start_vertices, counters, scratch=self.scratch, budget=budget)
         crawl_time = time.perf_counter() - crawl_start
         return QueryResult(
             vertex_ids=outcome.result_ids,
@@ -234,6 +272,7 @@ class OctopusConExecutor(ExecutionStrategy):
             walk_time=walk_time,
             crawl_time=crawl_time,
             total_time=locate_time + walk_time + crawl_time,
+            complete=walk_complete and outcome.complete,
         )
 
     def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
@@ -249,14 +288,14 @@ class OctopusConExecutor(ExecutionStrategy):
         arena.  Results and counters match sequential :meth:`query` calls
         exactly.
         """
-        box_list = list(boxes)
+        box_list = check_query_boxes(boxes)
         self.last_fused_crawl = None  # set again below iff this batch fuses
-        if len(box_list) <= 1:
+        if len(box_list) <= 1 or self.mesh.n_vertices == 0:
             return [self.query(box) for box in box_list]
         mesh = self.mesh
         locate_start = time.perf_counter()
         centers = np.stack([box.center for box in box_list])
-        first_hits = self.grid.locate_batch(centers)
+        first_hits = self._ensure_grid().locate_batch(centers)
         shared_locate_time = (time.perf_counter() - locate_start) / len(box_list)
 
         counters_list: list[QueryCounters] = []
@@ -277,24 +316,35 @@ class OctopusConExecutor(ExecutionStrategy):
             start_ids.append(start_id)
 
         walk_indices = [index for index, start_id in enumerate(start_ids) if start_id is not None]
+        # One tracker per query, shared by its walk and crawl phases — the
+        # same metering a sequential query() applies.
+        budgets = None
+        if self.query_budget is not None:
+            budgets = [self._start_budget(query_index=i) for i in range(len(box_list))]
         walk_times, walk_starts, walk_batch = fused_walk_phase(
-            mesh, box_list, walk_indices, start_ids, counters_list, self.scratch
+            mesh, box_list, walk_indices, start_ids, counters_list, self.scratch, budgets
         )
         crawl_starts = [
             walk_starts.get(index, np.empty(0, dtype=np.int64))
             for index in range(len(box_list))
         ]
+        walk_complete = [True] * len(box_list)
+        if walk_batch is not None:
+            for index, walk in zip(walk_indices, walk_batch.outcomes):
+                walk_complete[index] = walk.complete
 
         crawl_start = time.perf_counter()
-        batch = crawl_many(mesh, box_list, crawl_starts, counters_list, scratch=self.scratch)
+        batch = crawl_many(
+            mesh, box_list, crawl_starts, counters_list, scratch=self.scratch, budgets=budgets
+        )
         crawl_time = (time.perf_counter() - crawl_start) / len(box_list)
         if walk_batch is not None:
             walk_batch.attach_to(batch)
         self.last_fused_crawl = batch
 
         results: list[QueryResult] = []
-        for outcome, counters, locate_time, walk_time in zip(
-            batch.outcomes, counters_list, locate_times, walk_times
+        for index, (outcome, counters, locate_time, walk_time) in enumerate(
+            zip(batch.outcomes, counters_list, locate_times, walk_times)
         ):
             results.append(
                 QueryResult(
@@ -304,6 +354,7 @@ class OctopusConExecutor(ExecutionStrategy):
                     walk_time=walk_time,
                     crawl_time=crawl_time,
                     total_time=locate_time + walk_time + crawl_time,
+                    complete=walk_complete[index] and outcome.complete,
                 )
             )
         return results

@@ -102,6 +102,11 @@ class QueryResult:
         Wall-clock seconds per phase (phases a strategy does not have stay 0).
     total_time:
         Wall-clock seconds for the whole query.
+    complete:
+        ``False`` when a :class:`~repro.core.resilience.QueryBudget` under the
+        ``"partial"`` policy truncated the traversal: ``vertex_ids`` is then a
+        (possibly empty) *subset* of the exact answer.  Always ``True`` on
+        unbudgeted queries.
     """
 
     vertex_ids: np.ndarray
@@ -112,6 +117,7 @@ class QueryResult:
     scan_time: float = 0.0
     index_time: float = 0.0
     total_time: float = 0.0
+    complete: bool = True
 
     def __post_init__(self) -> None:
         self.vertex_ids = np.unique(np.asarray(self.vertex_ids, dtype=np.int64))

@@ -23,7 +23,7 @@ from typing import Iterable
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import SpatialIndexError
 from ..mesh import Box3D, PolyhedralMesh, points_boxes_distance_sq, points_in_box
 from .result import QueryCounters
 from .scratch import CrawlScratch
@@ -240,7 +240,7 @@ class SurfaceIndex:
             random sample).  Defaults to :meth:`surface_ids`.
         """
         if self.is_stale():
-            raise IndexError_(
+            raise SpatialIndexError(
                 "surface index is stale: the mesh was restructured; call refresh_from_mesh()"
             )
         if ids is None:

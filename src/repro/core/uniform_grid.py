@@ -38,7 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..errors import IndexError_
+from ..errors import SpatialIndexError
 from ..mesh import Box3D, csr_gather, points_in_box
 from .result import QueryCounters
 
@@ -62,7 +62,7 @@ class UniformGrid:
 
     def __init__(self, resolution: int = 10) -> None:
         if resolution < 1:
-            raise IndexError_("grid resolution must be at least 1")
+            raise SpatialIndexError("grid resolution must be at least 1")
         self.resolution = int(resolution)
         self._built = False
         self._lo: np.ndarray | None = None
@@ -90,7 +90,7 @@ class UniformGrid:
         start = time.perf_counter()
         pts = np.asarray(positions, dtype=np.float64)
         if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
-            raise IndexError_("grid build needs a non-empty (n, 3) position array")
+            raise SpatialIndexError("grid build needs a non-empty (n, 3) position array")
         lo = pts.min(axis=0)
         hi = pts.max(axis=0)
         span = np.where(hi > lo, hi - lo, 1.0)
@@ -150,7 +150,7 @@ class UniformGrid:
         self._require_built()
         pts = np.asarray(positions, dtype=np.float64)
         if pts.ndim != 2 or pts.shape[1] != 3 or pts.shape[0] == 0:
-            raise IndexError_("grid rebin needs a non-empty (n, 3) position array")
+            raise SpatialIndexError("grid rebin needs a non-empty (n, 3) position array")
         self._bin_all(pts)
         return self.n_points
 
@@ -171,7 +171,7 @@ class UniformGrid:
         if ids.size == 0:
             return 0
         if ids.min() < 0 or ids.max() >= self.n_points:
-            raise IndexError_("relocate: moved ids out of range of the built grid")
+            raise SpatialIndexError("relocate: moved ids out of range of the built grid")
         new_cells = self._cell_of(np.asarray(new_positions, dtype=np.float64))
         vertex_cell = self._ensure_vertex_cell()
         changed = new_cells != vertex_cell[ids]
@@ -225,7 +225,7 @@ class UniformGrid:
         if pts.size == 0:
             return 0
         if pts.ndim != 2 or pts.shape[1] != 3:
-            raise IndexError_("append_points needs a (k, 3) position array")
+            raise SpatialIndexError("append_points needs a (k, 3) position array")
         cells = self._cell_of(pts)
         new_ids = np.arange(self.n_points, self.n_points + pts.shape[0], dtype=np.int64)
         # Canonical (cell, id) arrival order; slots point at each target
@@ -250,7 +250,7 @@ class UniformGrid:
 
     def _require_built(self) -> None:
         if not self._built:
-            raise IndexError_("grid has not been built yet")
+            raise SpatialIndexError("grid has not been built yet")
 
     def _cell_coords(self, points: np.ndarray) -> np.ndarray:
         """Integer (ix, iy, iz) cell coordinates of each point, clamped to the grid."""

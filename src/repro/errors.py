@@ -3,9 +3,34 @@
 All library-specific errors derive from :class:`ReproError` so callers can
 catch a single base class.  More specific subclasses communicate which
 subsystem rejected the input.
+
+The resilience layer (:mod:`repro.core.resilience`,
+:mod:`repro.simulation.faults`) adds *structured* errors: every failure a
+production service has to route — a blown query budget, a delta that failed
+validation, an execution that exhausted its fallback ladder — carries
+machine-readable context (strategy name, simulation tick, query id, the
+resource and limits involved) as attributes, not just prose, so supervisors
+can classify without parsing messages.
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "DegradedExecutionError",
+    "DeltaValidationError",
+    "ExperimentError",
+    "FaultInjectionError",
+    "GeometryError",
+    "IndexError_",
+    "MeshConnectivityError",
+    "MeshError",
+    "QueryBudgetExceeded",
+    "QueryError",
+    "ReproError",
+    "SimulationError",
+    "SpatialIndexError",
+    "WorkloadError",
+]
 
 
 class ReproError(Exception):
@@ -24,16 +49,138 @@ class GeometryError(ReproError):
     """Raised for invalid geometric inputs (degenerate boxes, bad shapes)."""
 
 
-class IndexError_(ReproError):
+class SpatialIndexError(ReproError):
     """Raised when a spatial index is misused (e.g. queried before building)."""
+
+
+#: Deprecated alias for :class:`SpatialIndexError`; kept so code written
+#: against the pre-1.1 hierarchy keeps importing and catching the same class.
+IndexError_ = SpatialIndexError
 
 
 class QueryError(ReproError):
     """Raised for malformed range queries."""
 
 
+class _StructuredError(ReproError):
+    """Mixin base: an error with machine-readable execution context.
+
+    ``strategy`` / ``step`` / ``query_index`` locate the failure in the
+    simulation timeline (any of them may be ``None`` when unknown at the
+    raise site); :meth:`context` returns the populated fields as a dict for
+    ledgers and logs.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        strategy: str | None = None,
+        step: int | None = None,
+        query_index: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.strategy = strategy
+        self.step = step
+        self.query_index = query_index
+
+    def context(self) -> dict:
+        """The populated structured fields (omits ``None`` entries)."""
+        fields = {
+            "strategy": self.strategy,
+            "step": self.step,
+            "query_index": self.query_index,
+        }
+        return {key: value for key, value in fields.items() if value is not None}
+
+
+class QueryBudgetExceeded(_StructuredError, QueryError):
+    """A query exhausted its :class:`~repro.core.resilience.QueryBudget`.
+
+    Raised only under the budget's ``"raise"`` policy (the ``"partial"``
+    policy returns a :class:`~repro.core.result.QueryResult` flagged
+    ``complete=False`` instead).  ``resource`` names the exhausted limit
+    (``"visited_vertices"``, ``"distance_computations"`` or ``"wall_clock"``),
+    ``spent``/``limit`` quantify it.
+    """
+
+    def __init__(
+        self,
+        resource: str,
+        spent: float,
+        limit: float,
+        *,
+        strategy: str | None = None,
+        step: int | None = None,
+        query_index: int | None = None,
+    ) -> None:
+        super().__init__(
+            f"query budget exhausted: {resource} spent {spent:g} of {limit:g}",
+            strategy=strategy,
+            step=step,
+            query_index=query_index,
+        )
+        self.resource = resource
+        self.spent = spent
+        self.limit = limit
+
+    def context(self) -> dict:
+        base = super().context()
+        base.update(resource=self.resource, spent=self.spent, limit=self.limit)
+        return base
+
+
+class DeltaValidationError(_StructuredError):
+    """A :class:`~repro.core.delta.DeformationDelta` or
+    :class:`~repro.core.delta.TopologyDelta` failed an invariant audit.
+
+    Raised by the validators in :mod:`repro.core.resilience`; ``reason`` is a
+    short machine-friendly tag (e.g. ``"unsorted-ids"``, ``"nan-positions"``,
+    ``"dirty-box-mismatch"``) alongside the human-readable message.  A
+    :class:`~repro.core.resilience.ResilientStrategy` in paranoid mode
+    catches this, quarantines the delta and falls back to whole-mesh
+    maintenance instead of letting the bad delta corrupt index state.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        message: str,
+        *,
+        strategy: str | None = None,
+        step: int | None = None,
+    ) -> None:
+        super().__init__(message, strategy=strategy, step=step)
+        self.reason = reason
+
+    def context(self) -> dict:
+        base = super().context()
+        base["reason"] = self.reason
+        return base
+
+
+class DegradedExecutionError(_StructuredError):
+    """Every rung of the degradation ladder failed for an operation.
+
+    Raised by :class:`~repro.core.resilience.ResilientStrategy` when the
+    primary path, the documented fallback *and* the last-resort rebuild or
+    scan all raised — the supervisor has nothing safe left to try.  The
+    original failure is attached as ``__cause__``.
+    """
+
+
 class SimulationError(ReproError):
     """Raised when a simulation is configured or driven incorrectly."""
+
+
+class FaultInjectionError(ReproError):
+    """An intentionally injected fault (deterministic chaos testing).
+
+    Raised by the :mod:`repro.simulation.faults` harness at scheduled points
+    (e.g. mid-batch strategy exceptions).  Never raised on production paths;
+    seeing one escape a resilient run means the degradation ladder failed to
+    contain a scheduled fault.
+    """
 
 
 class WorkloadError(ReproError):

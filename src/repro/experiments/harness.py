@@ -21,13 +21,15 @@ from ..baselines import (
     ThrowawayKDTreeExecutor,
     ThrowawayOctreeExecutor,
 )
-from ..core import OctopusConExecutor, OctopusExecutor
+from ..core import OctopusConExecutor, OctopusExecutor, ResilientStrategy
 from ..core.executor import ExecutionStrategy
 from ..errors import ExperimentError
 from ..mesh import Box3D, PolyhedralMesh
 from ..simulation import (
     AffineDeformation,
     DeformationModel,
+    FaultPlan,
+    FaultyBatchStrategy,
     LocalizedPulseDeformation,
     MeshSimulation,
     RandomWalkDeformation,
@@ -49,6 +51,8 @@ __all__ = [
     "sparse_maintenance_rows",
     "restructuring_maintenance_rows",
     "sparsity_sweep_rows",
+    "degradation_rows",
+    "fault_injection_rows",
     "fixed_workload_provider",
     "per_step_workload_provider",
 ]
@@ -142,6 +146,7 @@ def run_comparison(
     validate_results: bool = False,
     batch_queries: bool | None = None,
     restructuring=None,
+    fault_plan: FaultPlan | None = None,
 ) -> SimulationReport:
     """Run one simulation comparing the given strategies on identical queries.
 
@@ -149,7 +154,8 @@ def run_comparison(
     default) issues each step's boxes through the batched ``query_many`` path
     unless ``REPRO_SEQUENTIAL_QUERIES`` is set in the environment.
     ``restructuring`` is the optional topology schedule (see
-    :func:`repro.simulation.periodic_restructuring`).
+    :func:`repro.simulation.periodic_restructuring`); ``fault_plan`` the
+    optional seeded corruption schedule (see :class:`repro.simulation.FaultPlan`).
     """
     simulation = MeshSimulation(
         mesh=mesh,
@@ -159,6 +165,7 @@ def run_comparison(
         restructuring=restructuring,
         validate_results=validate_results,
         batch_queries=batch_queries,
+        fault_plan=fault_plan,
     )
     return simulation.run(n_steps)
 
@@ -353,6 +360,98 @@ def sparsity_sweep_rows(
         for row in maintenance_rows(report):
             rows.append({"sparsity": sparsity, **row})
     return rows
+
+
+def degradation_rows(report: SimulationReport) -> list[dict]:
+    """The degradation ledger: one row per recorded fallback event.
+
+    Strategies wrapped in :class:`~repro.core.ResilientStrategy` record every
+    descent down the degradation ladder (fused batch retried sequentially,
+    quarantined deltas, budget-blown crawls answered by linear scan, full
+    rebuilds); the simulator drains those events into each
+    :class:`~repro.simulation.StrategyReport` and this function flattens them
+    into rows — strategy, step, operation, ladder rung, and the classified
+    reason — ordered by step then strategy.  Unwrapped strategies contribute
+    nothing, so an empty table means the run never degraded.
+    """
+    rows = [
+        {
+            "strategy": name,
+            "step": event.get("step"),
+            "operation": event.get("operation"),
+            "rung": event.get("rung"),
+            "reason": event.get("reason"),
+            "error": event.get("error"),
+        }
+        for name, strategy_report in report.strategies.items()
+        for event in strategy_report.degradation_events
+    ]
+    rows.sort(key=lambda row: (row["step"] if row["step"] is not None else -1, row["strategy"]))
+    return rows
+
+
+#: chaos scenario mesh resolution per profile (vertices = resolution**3)
+_FAULT_INJECTION_RESOLUTIONS = {"tiny": 6, "small": 9, "medium": 12}
+
+
+def fault_injection_rows(
+    profile: str = "small",
+    seed: int = 7,
+    n_steps: int = 8,
+    probability: float = 0.6,
+    sparsity: float = 0.05,
+    amplitude: float = 0.02,
+    queries_per_step: int = 4,
+    selectivity: float = 0.02,
+) -> list[dict]:
+    """The chaos scenario: seeded corruption against the resilience layer.
+
+    Runs a sparse :class:`~repro.simulation.LocalizedPulseDeformation`
+    workload with a :class:`~repro.simulation.FaultPlan` corrupting the
+    deltas the simulator hands out (truncated ids, wrong dirty boxes, NaN
+    positions, mid-batch exceptions via
+    :class:`~repro.simulation.FaultyBatchStrategy`).  Every strategy except
+    the linear-scan reference is wrapped in a paranoid
+    :class:`~repro.core.ResilientStrategy`, and ``validate_results=True``
+    asserts the recovered answers stay bit-identical to the scan of the live
+    positions — the run only completes if every injected fault was absorbed.
+    Returns the degradation ledger (:func:`degradation_rows`): the fallbacks
+    the faults actually forced.
+
+    The scenario runs on a convex structured cube with a gentle pulse
+    amplitude: OCTOPUS-CON's single-seed crawl is only exact on convex
+    meshes, and large Gaussian kicks can disconnect a box's in-box subgraph,
+    which breaks *any* crawl-based strategy's completeness (see
+    :class:`~repro.simulation.LocalizedPulseDeformation`).  Chaos runs must
+    isolate injected faults from those pre-existing geometric limits.
+    """
+    from ..generators import structured_tetrahedral_mesh
+
+    try:
+        resolution = _FAULT_INJECTION_RESOLUTIONS[profile]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown dataset profile {profile!r}; expected one of "
+            f"{sorted(_FAULT_INJECTION_RESOLUTIONS)}"
+        ) from exc
+    mesh = structured_tetrahedral_mesh((resolution, resolution, resolution))
+    plan = FaultPlan(seed=seed, probability=probability)
+    strategies: list[ExecutionStrategy] = [
+        make_strategy("linear-scan"),  # the live-position reference; deliberately unwrapped
+        ResilientStrategy(FaultyBatchStrategy(make_strategy("octopus"), plan), paranoid=True),
+        ResilientStrategy(OctopusConExecutor(grid_maintenance="incremental"), paranoid=True),
+        ResilientStrategy(make_strategy("lur-tree"), paranoid=True),
+    ]
+    report = run_comparison(
+        mesh,
+        strategies,
+        make_deformation("localized-pulse", sparsity=sparsity, amplitude=amplitude, seed=seed),
+        n_steps=n_steps,
+        query_provider=per_step_workload_provider(selectivity, queries_per_step, seed=seed),
+        validate_results=True,
+        fault_plan=plan,
+    )
+    return degradation_rows(report)
 
 
 def work_sharing_rows(report: SimulationReport) -> list[dict]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 __all__ = [
+    "format_degradation",
     "format_maintenance",
     "format_table",
     "format_value",
@@ -104,6 +105,36 @@ def format_maintenance(
     ratio.
     """
     return format_table(rows, columns=_MAINTENANCE_COLUMNS, title=title, precision=2)
+
+
+#: column order of the degradation ledger table (harness.degradation_rows)
+_DEGRADATION_COLUMNS = (
+    "strategy",
+    "step",
+    "operation",
+    "rung",
+    "reason",
+    "error",
+)
+
+
+def format_degradation(
+    rows: Sequence[Mapping[str, object]],
+    title: str | None = "Degradation ledger (one row per recorded fallback)",
+) -> str:
+    """Render the per-event degradation ledger table.
+
+    Takes the rows produced by
+    :func:`repro.experiments.harness.degradation_rows`; an empty table means
+    no wrapped strategy ever left its fast path.  The ``error`` column is
+    truncated so one pathological repr cannot blow up the table width.
+    """
+    trimmed = [{**row, "error": _truncate(str(row.get("error", "")), 60)} for row in rows]
+    return format_table(trimmed, columns=_DEGRADATION_COLUMNS, title=title, precision=2)
+
+
+def _truncate(text: str, limit: int) -> str:
+    return text if len(text) <= limit else text[: limit - 1] + "…"
 
 
 def print_table(

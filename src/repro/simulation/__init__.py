@@ -10,6 +10,7 @@ from .deformation import (
     SinusoidalWaveDeformation,
     SpinePulsationDeformation,
 )
+from .faults import FAULT_KINDS, FaultPlan, FaultyBatchStrategy
 from .monitoring import (
     MeshQualityMonitor,
     Monitor,
@@ -30,6 +31,9 @@ __all__ = [
     "AffineDeformation",
     "DeformationDelta",
     "DeformationModel",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultyBatchStrategy",
     "LocalizedPulseDeformation",
     "MeshQualityMonitor",
     "MeshSimulation",

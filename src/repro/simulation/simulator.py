@@ -30,6 +30,7 @@ from ..core.result import QueryCounters
 from ..errors import SimulationError
 from ..mesh import Box3D, PolyhedralMesh
 from .deformation import DeformationModel
+from .faults import FaultPlan
 from .restructuring import RestructuringSchedule
 
 __all__ = ["StepRecord", "StrategyReport", "SimulationReport", "MeshSimulation"]
@@ -59,6 +60,9 @@ class StepRecord:
     restructured: bool = False
     #: vertices the step's topology delta reported as dirty (0 when none)
     n_topology_dirty: int = 0
+    #: degradation-ladder descents this strategy recorded during the step
+    #: (0 for strategies without a resilience wrapper)
+    degradations: int = 0
 
 
 @dataclass
@@ -99,6 +103,11 @@ class StrategyReport:
     fused_attributed_crawl_edges: int = 0
     fused_unique_walk_distances: int = 0
     fused_attributed_walk_distances: int = 0
+    #: degradation-ladder descents summed over all steps (0 = never degraded)
+    total_degradations: int = 0
+    #: the recorded fallback events, as dicts (strategy/operation/rung/
+    #: reason/error/step — see :class:`~repro.core.resilience.FallbackEvent`)
+    degradation_events: list[dict] = field(default_factory=list)
 
     @property
     def total_response_time(self) -> float:
@@ -146,6 +155,8 @@ class SimulationReport:
 
     n_steps: int
     strategies: dict[str, StrategyReport] = field(default_factory=dict)
+    #: ``(step, fault_kind)`` pairs the simulation's fault plan injected
+    injected_faults: list[tuple[int, str]] = field(default_factory=list)
 
     def __getitem__(self, name: str) -> StrategyReport:
         return self.strategies[name]
@@ -186,6 +197,16 @@ class MeshSimulation:
         When True, every strategy's result is checked against the first
         strategy's result for equality (used in tests; adds linear-scan-like
         overhead so benchmarks keep it off).
+    fault_plan:
+        Optional :class:`~repro.simulation.faults.FaultPlan`.  At each
+        scheduled step the plan corrupts the change deltas *after* the
+        simulator's own lifecycle checks — the faults model a buggy delta
+        producer, not a broken driver — so what reaches the strategies is
+        exactly what a lying producer would have handed them.  Pair with
+        strategies wrapped in
+        :class:`~repro.core.resilience.ResilientStrategy` (paranoid mode) to
+        exercise the quarantine/rebuild rungs; the injected ``(step, kind)``
+        pairs are recorded on the :class:`SimulationReport`.
     batch_queries:
         When True, each step's boxes are issued through
         :meth:`ExecutionStrategy.query_many`, so every strategy answers the
@@ -208,6 +229,7 @@ class MeshSimulation:
         restructuring: RestructuringSchedule | None = None,
         validate_results: bool = False,
         batch_queries: bool | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if not strategies:
             raise SimulationError("need at least one execution strategy")
@@ -220,6 +242,8 @@ class MeshSimulation:
         self.query_provider = query_provider
         self.restructuring = restructuring
         self.validate_results = validate_results
+        self.fault_plan = fault_plan
+        self._injected_faults: list[tuple[int, str]] = []
         if batch_queries is None:
             flag = os.environ.get("REPRO_SEQUENTIAL_QUERIES", "")
             batch_queries = flag.strip().lower() in ("", "0", "false")
@@ -244,7 +268,11 @@ class MeshSimulation:
             self.step(step)
         for strategy in self.strategies:
             self._reports[strategy.name].memory_overhead_bytes = strategy.memory_overhead_bytes()
-        return SimulationReport(n_steps=n_steps, strategies=dict(self._reports))
+        return SimulationReport(
+            n_steps=n_steps,
+            strategies=dict(self._reports),
+            injected_faults=list(self._injected_faults),
+        )
 
     def step(self, step: int) -> None:
         """Execute one simulation step: restructure, deform, maintain, query.
@@ -283,11 +311,25 @@ class MeshSimulation:
                 f"deformation model {type(self.deformation).__name__}.apply() must "
                 "return a DeformationDelta (the delta-aware lifecycle contract)"
             )
+        if self.fault_plan is not None:
+            # Corruption happens AFTER the driver's own checks above: the
+            # injected faults model a lying delta producer, and what reaches
+            # the strategies is exactly what such a producer would emit.
+            if topology is not None:
+                topology, fault_kind = self.fault_plan.corrupt_topology(topology, step)
+                if fault_kind is not None:
+                    self._injected_faults.append((step, fault_kind))
+            delta, fault_kind = self.fault_plan.corrupt_deformation(delta, step)
+            if fault_kind is not None:
+                self._injected_faults.append((step, fault_kind))
         boxes = list(self.query_provider(self.mesh, step))
 
         reference_ids: list[np.ndarray] | None = None
         for index, strategy in enumerate(self.strategies):
             report = self._reports[strategy.name]
+            note_step = getattr(strategy, "note_step", None)
+            if note_step is not None:
+                note_step(step)
             entries_before = strategy.maintenance_entries
             maintenance = 0.0
             if topology is not None:
@@ -343,6 +385,11 @@ class MeshSimulation:
                                 f"{self.strategies[0].name!r} on step {step}, query {box_index}"
                             )
 
+            drain = getattr(strategy, "drain_degradation_events", None)
+            fallback_events = drain() if drain is not None else []
+            report.total_degradations += len(fallback_events)
+            report.degradation_events.extend(event.as_dict() for event in fallback_events)
+
             report.total_maintenance_time += maintenance
             report.total_query_time += query_time
             report.total_results += n_results
@@ -367,5 +414,6 @@ class MeshSimulation:
                     maintenance_entries=step_entries,
                     restructured=restructured,
                     n_topology_dirty=topology.n_dirty if restructured else 0,
+                    degradations=len(fallback_events),
                 )
             )

@@ -12,7 +12,7 @@ from repro.baselines import (
     ThrowawayOctreeExecutor,
 )
 from repro.core import QueryCounters
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.mesh import Box3D, points_in_box
 from repro.simulation import DeformationDelta, RandomWalkDeformation
 from repro.workloads import random_query_workload
@@ -74,12 +74,12 @@ class TestOctreeStructure:
         assert counters.vertices_scanned > 0
 
     def test_errors(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             Octree(bucket_size=0)
         octree = Octree()
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             octree.query(Box3D.cube((0, 0, 0), 1), np.zeros((1, 3)))
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             octree.build(np.zeros((0, 3)))
 
 
@@ -102,10 +102,10 @@ class TestKDTreeStructure:
         assert result.size == 100
 
     def test_errors(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             KDTree(bucket_size=0)
         tree = KDTree()
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             tree.query(Box3D.cube((0, 0, 0), 1), np.zeros((1, 3)))
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import LinearScanExecutor, LURTreeExecutor, QUTradeExecutor, RTree
 from repro.core import QueryCounters
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.mesh import Box3D, points_in_box
 from repro.simulation import RandomWalkDeformation
 from repro.workloads import random_query_workload
@@ -110,12 +110,12 @@ class TestRTree:
         assert set(exact.tolist()) <= set(expanded.tolist())
 
     def test_errors(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             RTree(fanout=2)
         tree = RTree(fanout=8)
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             tree.query(Box3D.cube((0, 0, 0), 1.0), np.zeros((1, 3)))
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             tree.bulk_load(np.zeros((0, 3)))
 
     def test_height_and_memory(self, rng):
@@ -237,9 +237,9 @@ class TestQUTrade:
         before = qu.window
         qu.tune_window_for(per_step_displacement=0.01, target_update_fraction=0.01)
         assert qu.window >= max(before, 1.0)
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             qu.tune_window_for(per_step_displacement=-1.0)
 
     def test_negative_window_rejected(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             QUTradeExecutor(window_fraction=-0.1)

@@ -1,0 +1,102 @@
+"""The exception hierarchy: every subclass constructs, raises and carries context."""
+
+import pytest
+
+from repro.errors import (
+    DegradedExecutionError,
+    DeltaValidationError,
+    ExperimentError,
+    FaultInjectionError,
+    GeometryError,
+    IndexError_,
+    MeshConnectivityError,
+    MeshError,
+    QueryBudgetExceeded,
+    QueryError,
+    ReproError,
+    SimulationError,
+    SpatialIndexError,
+    WorkloadError,
+)
+
+#: every error class with a plain message-only constructor
+SIMPLE_ERRORS = (
+    ReproError,
+    MeshError,
+    MeshConnectivityError,
+    GeometryError,
+    SpatialIndexError,
+    QueryError,
+    SimulationError,
+    FaultInjectionError,
+    WorkloadError,
+    ExperimentError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_class", SIMPLE_ERRORS)
+    def test_constructs_and_raises(self, error_class):
+        with pytest.raises(error_class, match="boom"):
+            raise error_class("boom")
+
+    @pytest.mark.parametrize("error_class", SIMPLE_ERRORS)
+    def test_caught_as_repro_error(self, error_class):
+        with pytest.raises(ReproError):
+            raise error_class("boom")
+
+    def test_subsystem_parents(self):
+        assert issubclass(MeshConnectivityError, MeshError)
+        assert issubclass(QueryBudgetExceeded, QueryError)
+        assert issubclass(DeltaValidationError, ReproError)
+        assert issubclass(DegradedExecutionError, ReproError)
+        assert issubclass(FaultInjectionError, ReproError)
+
+    def test_spatial_index_alias(self):
+        # the pre-1.1 name keeps importing and catching the same class
+        assert IndexError_ is SpatialIndexError
+        with pytest.raises(IndexError_):
+            raise SpatialIndexError("queried before build")
+
+
+class TestStructuredErrors:
+    def test_query_budget_exceeded_context(self):
+        error = QueryBudgetExceeded(
+            "visited_vertices", 15, 5, strategy="octopus", step=3, query_index=1
+        )
+        assert "visited_vertices" in str(error)
+        assert error.context() == {
+            "strategy": "octopus",
+            "step": 3,
+            "query_index": 1,
+            "resource": "visited_vertices",
+            "spent": 15,
+            "limit": 5,
+        }
+        with pytest.raises(QueryError):
+            raise error
+
+    def test_query_budget_exceeded_omits_unset_fields(self):
+        error = QueryBudgetExceeded("wall_clock", 0.2, 0.1)
+        assert error.context() == {"resource": "wall_clock", "spent": 0.2, "limit": 0.1}
+
+    def test_delta_validation_error_context(self):
+        error = DeltaValidationError(
+            "unsorted-ids", "ids must be strictly increasing", strategy="lur-tree", step=2
+        )
+        assert error.reason == "unsorted-ids"
+        assert error.context() == {
+            "strategy": "lur-tree",
+            "step": 2,
+            "reason": "unsorted-ids",
+        }
+        with pytest.raises(DeltaValidationError, match="strictly increasing"):
+            raise error
+
+    def test_degraded_execution_error_context_and_cause(self):
+        cause = RuntimeError("index corrupted")
+        error = DegradedExecutionError("every rung failed", strategy="octopus", step=4)
+        with pytest.raises(DegradedExecutionError) as excinfo:
+            raise error from cause
+        assert excinfo.value.context() == {"strategy": "octopus", "step": 4}
+        assert excinfo.value.__cause__ is cause

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import LinearScanExecutor
 from repro.core import OctopusConExecutor, OctopusExecutor, QueryCounters, UniformGrid
-from repro.errors import IndexError_, QueryError
+from repro.errors import SpatialIndexError, QueryError
 from repro.mesh import Box3D
 from repro.simulation import AffineDeformation
 from repro.workloads import random_query_workload
@@ -44,11 +44,11 @@ class TestUniformGrid:
 
     def test_query_before_build_raises(self):
         grid = UniformGrid(resolution=4)
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             grid.query(Box3D.cube((0, 0, 0), 1.0), np.zeros((1, 3)))
 
     def test_invalid_resolution(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             UniformGrid(resolution=0)
 
     def test_memory_grows_with_resolution(self, grid_mesh):
@@ -156,11 +156,11 @@ class TestMaintainedGrid:
 
     def test_relocate_rejects_out_of_range_ids(self, grid_mesh):
         from repro.core import UniformGrid
-        from repro.errors import IndexError_
+        from repro.errors import SpatialIndexError
 
         grid = UniformGrid(resolution=4)
         grid.build(grid_mesh.vertices)
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             grid.relocate(np.array([grid_mesh.n_vertices]), np.zeros((1, 3)))
 
     def test_invalid_maintenance_mode_rejected(self):

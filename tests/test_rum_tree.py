@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import LinearScanExecutor
 from repro.baselines.rum_tree import RUMTreeExecutor
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.simulation import RandomWalkDeformation
 from repro.workloads import random_query_workload
 
@@ -89,5 +89,5 @@ class TestRUMTree:
         assert rum.memory_overhead_bytes() > before
 
     def test_invalid_threshold(self):
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             RUMTreeExecutor(garbage_threshold=0.0)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import QueryCounters, SurfaceIndex
-from repro.errors import IndexError_
+from repro.errors import SpatialIndexError
 from repro.mesh import Box3D
 from repro.simulation import remove_cells
 
@@ -92,7 +92,7 @@ class TestMaintenance:
         new_mesh, _ = remove_cells(mesh, np.arange(0, 30))
         mesh.replace_cells(new_mesh.cells)
         assert index.is_stale()
-        with pytest.raises(IndexError_):
+        with pytest.raises(SpatialIndexError):
             index.probe(mesh.bounding_box())
         index.refresh_from_mesh()
         assert not index.is_stale()
