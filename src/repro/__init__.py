@@ -21,7 +21,7 @@ The most common entry points are re-exported here::
     result = octopus.query(Box3D.cube(mesh.bounding_box().center, 0.5))
 """
 
-from . import baselines, core, experiments, generators, mesh, simulation, workloads
+from . import baselines, core, experiments, generators, mesh, service, simulation, workloads
 from .baselines import (
     LinearScanExecutor,
     LURTreeExecutor,
@@ -44,12 +44,12 @@ from .core import (
     calibrate_cost_model,
 )
 from .errors import (
+    ConcurrencyError,
     DegradedExecutionError,
     DeltaValidationError,
     ExperimentError,
     FaultInjectionError,
     GeometryError,
-    IndexError_,
     MeshConnectivityError,
     MeshError,
     QueryBudgetExceeded,
@@ -60,11 +60,13 @@ from .errors import (
     WorkloadError,
 )
 from .mesh import Box3D, HexahedralMesh, PolyhedralMesh, TetrahedralMesh, TriangleMesh
+from .service import MeshShard, ShardedQueryService, partition_mesh
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Box3D",
+    "ConcurrencyError",
     "CostModel",
     "DeformationDelta",
     "DegradedExecutionError",
@@ -73,11 +75,11 @@ __all__ = [
     "FaultInjectionError",
     "GeometryError",
     "HexahedralMesh",
-    "IndexError_",
     "LURTreeExecutor",
     "LinearScanExecutor",
     "MeshConnectivityError",
     "MeshError",
+    "MeshShard",
     "OctopusConExecutor",
     "OctopusExecutor",
     "PolyhedralMesh",
@@ -89,6 +91,7 @@ __all__ = [
     "QueryResult",
     "ReproError",
     "ResilientStrategy",
+    "ShardedQueryService",
     "SimulationError",
     "SpatialIndexError",
     "SurfaceIndex",
@@ -106,6 +109,22 @@ __all__ = [
     "experiments",
     "generators",
     "mesh",
+    "partition_mesh",
+    "service",
     "simulation",
     "workloads",
 ]
+
+
+def __getattr__(name: str):
+    """Deprecated top-level aliases, resolved lazily so importing them warns."""
+    if name == "IndexError_":
+        import warnings
+
+        warnings.warn(
+            "repro.IndexError_ is deprecated; use repro.SpatialIndexError instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SpatialIndexError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

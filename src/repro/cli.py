@@ -29,6 +29,7 @@ from .experiments.harness import (
     restructuring_maintenance_rows,
     sparse_maintenance_rows,
     sparsity_sweep_rows,
+    traffic_rows,
 )
 
 __all__ = ["EXPERIMENTS", "build_parser", "run_experiment", "main"]
@@ -114,6 +115,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[str], list[dict]], str]] = {
     "fault-injection": (
         lambda profile: fault_injection_rows(profile),
         "Fault injection — degradation ledger under a seeded chaos plan",
+    ),
+    "traffic": (
+        lambda profile: traffic_rows(profile),
+        "Traffic — sharded service throughput/latency vs sequential baseline",
     ),
 }
 

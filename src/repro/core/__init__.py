@@ -20,7 +20,7 @@ from .resilience import (
     validate_topology_delta,
 )
 from .result import QueryCounters, QueryResult
-from .scratch import CrawlScratch, WalkArena
+from .scratch import CrawlScratch, ThreadLocalScratch, WalkArena
 from .surface_index import SurfaceIndex, SurfaceProbeOutcome
 from .uniform_grid import UniformGrid
 
@@ -42,6 +42,7 @@ __all__ = [
     "ResilientStrategy",
     "SurfaceIndex",
     "SurfaceProbeOutcome",
+    "ThreadLocalScratch",
     "TopologyDelta",
     "UniformGrid",
     "WalkArena",

@@ -176,6 +176,7 @@ def crawl(
         frontier = frontier[:0]
 
     while frontier.size:
+        scratch.check_epoch(epoch)
         neighbors = _gather_neighbors(indptr, indices, frontier, scratch)
         n_edges_followed += int(neighbors.size)
         if neighbors.size == 0:
@@ -479,6 +480,7 @@ def _crawl_fused(
         frontier, frontier_bits = apply_budgets(*stamp_and_test(candidates, reach_bits))
 
         while frontier.size:
+            scratch.check_batch_epoch(epoch)
             neighbors, degrees = _gather_neighbors(
                 indptr, indices, frontier, scratch, return_counts=True
             )

@@ -345,6 +345,7 @@ def directed_walk_many(
     los, his = boxes_to_arrays(box_list)
 
     arena = scratch.acquire_walk(n_queries, beam_width)
+    generation = arena.generation
     best_distance = arena.best_distance
     best_id = arena.best_id
     found = arena.found
@@ -428,6 +429,7 @@ def directed_walk_many(
     # Lockstep rounds: one union gather + one distance kernel per round, then
     # per-query strict-improvement selection on segment views.
     while True:
+        arena.check_generation(generation)
         active_queries = np.nonzero(active[:n_queries])[0]
         if active_queries.size == 0:
             break

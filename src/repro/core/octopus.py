@@ -39,7 +39,7 @@ from .directed_walk import directed_walk, fused_walk_phase
 from .executor import ExecutionStrategy
 from .resilience import check_query_box, check_query_boxes
 from .result import QueryCounters, QueryResult
-from .scratch import CrawlScratch
+from .scratch import CrawlScratch, ThreadLocalScratch
 from .surface_index import SurfaceIndex
 
 __all__ = ["OctopusExecutor"]
@@ -69,10 +69,17 @@ class OctopusExecutor(ExecutionStrategy):
         self.seed = seed
         self._surface_index: SurfaceIndex | None = None
         self._probe_ids: np.ndarray | None = None
-        #: reusable per-executor crawl arena (epoch-stamped visited + buffers)
-        self.scratch = CrawlScratch()
+        #: per-thread crawl arenas (epoch-stamped visited + buffers); one
+        #: CrawlScratch per thread keeps concurrent queries off each other's
+        #: stamps — see the thread-safety contract in repro.core.scratch
+        self._scratch = ThreadLocalScratch()
         #: fused-crawl accounting of the most recent query_many() batch
         self.last_fused_crawl: BatchCrawlOutcome | None = None
+
+    @property
+    def scratch(self) -> CrawlScratch:
+        """The calling thread's crawl arena (created on first use)."""
+        return self._scratch.get()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -363,4 +370,4 @@ class OctopusExecutor(ExecutionStrategy):
         """Surface index plus the reusable crawl scratch arena."""
         if self._surface_index is None:
             return 0
-        return self._surface_index.memory_bytes() + self.scratch.expected_bytes(self.mesh.n_vertices)
+        return self._surface_index.memory_bytes() + self._scratch.expected_bytes(self.mesh.n_vertices)

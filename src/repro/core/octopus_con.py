@@ -26,7 +26,7 @@ from .directed_walk import directed_walk, fused_walk_phase
 from .executor import ExecutionStrategy
 from .resilience import check_query_box, check_query_boxes
 from .result import QueryCounters, QueryResult
-from .scratch import CrawlScratch
+from .scratch import CrawlScratch, ThreadLocalScratch
 from .uniform_grid import UniformGrid
 
 __all__ = ["OctopusConExecutor"]
@@ -83,10 +83,17 @@ class OctopusConExecutor(ExecutionStrategy):
         self.grid_resolution = grid_resolution
         self.grid_maintenance = grid_maintenance
         self._grid: UniformGrid | None = None
-        #: reusable per-executor crawl arena (epoch-stamped visited + buffers)
-        self.scratch = CrawlScratch()
+        #: per-thread crawl arenas (epoch-stamped visited + buffers); one
+        #: CrawlScratch per thread keeps concurrent queries off each other's
+        #: stamps — see the thread-safety contract in repro.core.scratch
+        self._scratch = ThreadLocalScratch()
         #: fused-crawl accounting of the most recent query_many() batch
         self.last_fused_crawl: BatchCrawlOutcome | None = None
+
+    @property
+    def scratch(self) -> CrawlScratch:
+        """The calling thread's crawl arena (created on first use)."""
+        return self._scratch.get()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -366,4 +373,4 @@ class OctopusConExecutor(ExecutionStrategy):
         """Stale grid plus the reusable crawl scratch arena."""
         if self._grid is None:
             return 0
-        return self._grid.memory_bytes() + self.scratch.expected_bytes(self.mesh.n_vertices)
+        return self._grid.memory_bytes() + self._scratch.expected_bytes(self.mesh.n_vertices)

@@ -158,7 +158,15 @@ class QueryBudget:
         step: int | None = None,
         query_index: int | None = None,
     ) -> "BudgetTracker":
-        """A fresh per-query tracker (the deadline clock starts now)."""
+        """A fresh per-query tracker.
+
+        The wall-clock deadline is scoped to the query's *own* execution: the
+        clock starts at the tracker's first :meth:`BudgetTracker.spend`, not
+        here.  Executors build one tracker per query — sometimes a whole
+        batch of them up-front — and a concurrent service may queue a query
+        behind others before its work begins; neither construction order nor
+        queue wait may be charged against the query's deadline.
+        """
         return BudgetTracker(self, strategy=strategy, step=step, query_index=query_index)
 
 
@@ -199,7 +207,10 @@ class BudgetTracker:
         self.query_index = query_index
         self.visited = 0
         self.distances = 0
-        self.started_at = time.perf_counter()
+        # Lazy deadline: the clock starts at the first spend(), so trackers
+        # built up-front for a whole batch (or queries queued behind others
+        # in a concurrent service) are not charged time they never used.
+        self.started_at: float | None = None
         self.exhausted = False
         self.exhausted_resource: str | None = None
 
@@ -222,6 +233,8 @@ class BudgetTracker:
         """Charge one round's work; True while the budget still has room."""
         if self.exhausted:
             return False
+        if self.started_at is None:
+            self.started_at = time.perf_counter()
         self.visited += vertices
         self.distances += distances
         budget = self.budget

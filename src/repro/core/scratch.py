@@ -33,15 +33,26 @@ grid relocation filtering departing members out of its CSR arrays), and the
 delta arena provides it as a single epoch increment per step — no per-step
 boolean allocation, no clearing.
 
-A scratch instance is owned by one executor and is **not** thread-safe; two
-concurrent queries must use two scratches.
+A scratch instance is owned by one thread at a time and is **not**
+thread-safe; two concurrent queries must use two scratches.  That contract
+used to be documentation only — now it is enforced: the crawl and walk round
+loops re-check the arena epoch every round and raise
+:class:`~repro.errors.ConcurrencyError` when another acquisition moved it
+mid-query (the signature of a second thread sharing the arena), and
+executors route concurrent callers onto distinct arenas through
+:class:`ThreadLocalScratch`, which lazily grows one :class:`CrawlScratch`
+per worker thread.
 """
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-__all__ = ["CrawlScratch", "WalkArena"]
+from ..errors import ConcurrencyError
+
+__all__ = ["CrawlScratch", "ThreadLocalScratch", "WalkArena"]
 
 #: stamp value reserved for "never visited" (fresh arenas are zero-filled)
 _NEVER = 0
@@ -69,6 +80,7 @@ class WalkArena:
         "active",
         "frontier",
         "frontier_len",
+        "generation",
     )
 
     def __init__(self) -> None:
@@ -80,6 +92,18 @@ class WalkArena:
         self.active = np.empty(0, dtype=bool)
         self.frontier = np.empty((0, 1), dtype=np.int64)
         self.frontier_len = np.empty(0, dtype=np.int64)
+        #: bumped by every :meth:`~CrawlScratch.acquire_walk`; the fused walk
+        #: re-checks it each round to detect a second thread taking the arena
+        self.generation = 0
+
+    def check_generation(self, generation: int) -> None:
+        """Assert the arena still belongs to the walk batch that acquired it."""
+        if self.generation != generation:
+            raise ConcurrencyError(
+                f"WalkArena re-acquired mid-batch (generation moved "
+                f"{generation} -> {self.generation}); a scratch serves one thread "
+                "at a time — use one scratch per thread (see ThreadLocalScratch)"
+            )
 
     def reserve(self, n_queries: int, beam_width: int) -> None:
         """Grow the per-query rows to cover ``n_queries`` × ``beam_width``."""
@@ -233,6 +257,7 @@ class CrawlScratch:
         initialised by the caller for rows ``[0, n_queries)``.
         """
         self._walk_arena.reserve(n_queries, beam_width)
+        self._walk_arena.generation += 1
         return self._walk_arena
 
     # ------------------------------------------------------------------
@@ -264,6 +289,33 @@ class CrawlScratch:
             self._delta_epoch = _NEVER
         self._delta_epoch += 1
         return self._delta_stamps, self._delta_epoch
+
+    # ------------------------------------------------------------------
+    # single-owner enforcement
+    # ------------------------------------------------------------------
+    def check_epoch(self, epoch: int) -> None:
+        """Assert the visited arena still belongs to the query that acquired it.
+
+        The crawl round loop calls this with the epoch its :meth:`acquire`
+        returned; a mismatch means another :meth:`acquire` ran mid-query —
+        i.e. a second thread is sharing this scratch — and the visited stamps
+        the caller is reading are garbage.  One integer compare per round.
+        """
+        if self._epoch != epoch:
+            raise ConcurrencyError(
+                f"CrawlScratch visited arena re-acquired mid-query (epoch moved "
+                f"{epoch} -> {self._epoch}); a scratch serves one thread at a time — "
+                "use one scratch per thread (see ThreadLocalScratch)"
+            )
+
+    def check_batch_epoch(self, epoch: int) -> None:
+        """Same guard as :meth:`check_epoch` for the fused batch arena."""
+        if self._batch_epoch != epoch:
+            raise ConcurrencyError(
+                f"CrawlScratch batch arena re-acquired mid-batch (epoch moved "
+                f"{epoch} -> {self._batch_epoch}); a scratch serves one thread at a "
+                "time — use one scratch per thread (see ThreadLocalScratch)"
+            )
 
     # ------------------------------------------------------------------
     # gather buffers
@@ -304,3 +356,62 @@ class CrawlScratch:
         reported overhead must not jump depending on query history.
         """
         return max(self.memory_bytes(), self.BYTES_PER_VERTEX * int(n_vertices))
+
+
+class ThreadLocalScratch:
+    """One lazily created :class:`CrawlScratch` per calling thread.
+
+    A :class:`CrawlScratch` is strictly single-owner — its epoch trick is a
+    read-modify-write on shared arrays — so an executor that may be queried
+    from several threads (the sharded query service fans work out across a
+    pool) must hand each thread its own arena.  This holder does exactly
+    that: :meth:`get` returns the calling thread's scratch, creating it on
+    first use, and keeps a registry of every arena created so memory
+    accounting still sees the whole footprint.
+
+    Maintenance and queries keep working unchanged on the single-threaded
+    paths: the first (only) thread always receives the same arena it would
+    have owned before.
+    """
+
+    __slots__ = ("_local", "_arenas", "_lock")
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._arenas: list[CrawlScratch] = []
+        self._lock = threading.Lock()
+
+    def get(self) -> CrawlScratch:
+        """The calling thread's scratch arena (created on first use)."""
+        scratch = getattr(self._local, "scratch", None)
+        if scratch is None:
+            scratch = CrawlScratch()
+            with self._lock:
+                self._arenas.append(scratch)
+            self._local.scratch = scratch
+        return scratch
+
+    @property
+    def n_arenas(self) -> int:
+        """Number of distinct threads that have acquired a scratch so far."""
+        with self._lock:
+            return len(self._arenas)
+
+    def memory_bytes(self) -> int:
+        """Combined footprint of every per-thread arena created so far."""
+        with self._lock:
+            return sum(arena.memory_bytes() for arena in self._arenas)
+
+    def expected_bytes(self, n_vertices: int) -> int:
+        """Steady-state footprint: at least one arena's worth, plus any extras.
+
+        Mirrors :meth:`CrawlScratch.expected_bytes` for the common
+        single-threaded case (exactly one arena) so reported overheads do not
+        change when an executor is wrapped by the service but only ever
+        queried from one thread.
+        """
+        with self._lock:
+            arenas = list(self._arenas)
+        if not arenas:
+            return CrawlScratch.BYTES_PER_VERTEX * int(n_vertices)
+        return sum(arena.expected_bytes(n_vertices) for arena in arenas)

@@ -15,13 +15,15 @@ can classify without parsing messages.
 
 from __future__ import annotations
 
+import warnings
+
 __all__ = [
+    "ConcurrencyError",
     "DegradedExecutionError",
     "DeltaValidationError",
     "ExperimentError",
     "FaultInjectionError",
     "GeometryError",
-    "IndexError_",
     "MeshConnectivityError",
     "MeshError",
     "QueryBudgetExceeded",
@@ -53,13 +55,20 @@ class SpatialIndexError(ReproError):
     """Raised when a spatial index is misused (e.g. queried before building)."""
 
 
-#: Deprecated alias for :class:`SpatialIndexError`; kept so code written
-#: against the pre-1.1 hierarchy keeps importing and catching the same class.
-IndexError_ = SpatialIndexError
-
-
 class QueryError(ReproError):
     """Raised for malformed range queries."""
+
+
+class ConcurrencyError(ReproError):
+    """A thread-affine resource was used from two threads at once.
+
+    Raised by the query kernels when a :class:`~repro.core.scratch.CrawlScratch`
+    epoch moves mid-query — the signature of a second thread acquiring the
+    same arena while a crawl or walk is in flight.  The single-owner contract
+    used to be documentation only; this error makes the violation loud instead
+    of silently corrupting visited stamps.  Executors avoid it by keeping one
+    scratch per thread (see :class:`~repro.core.scratch.ThreadLocalScratch`).
+    """
 
 
 class _StructuredError(ReproError):
@@ -189,3 +198,21 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment driver receives inconsistent parameters."""
+
+
+def __getattr__(name: str):
+    """Deprecated aliases, resolved lazily so importing them warns.
+
+    ``IndexError_`` is the pre-1.1 name of :class:`SpatialIndexError`; it
+    still imports (and still catches the same class) but now emits a
+    :class:`DeprecationWarning` at the import site instead of lingering
+    silently in the namespace.
+    """
+    if name == "IndexError_":
+        warnings.warn(
+            "repro.errors.IndexError_ is deprecated; use SpatialIndexError instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SpatialIndexError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

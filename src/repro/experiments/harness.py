@@ -478,3 +478,37 @@ def work_sharing_rows(report: SimulationReport) -> list[dict]:
             }
         )
     return rows
+
+
+def traffic_rows(profile: str = "small") -> list[dict]:
+    """Sharded-service traffic cells: throughput and latency per configuration.
+
+    Replays the seeded mixed query/deformation workload from
+    :mod:`repro.service.traffic` against the sequential baseline and the
+    sharded service (see ``docs/service.md``), one row per
+    ``(strategy, shard-count, client-count)`` cell.  The full benchmark grid
+    with regression floors lives in ``benchmarks/bench_traffic.py``; this is
+    the quick CLI view of the same cells.
+    """
+    from ..experiments.datasets import neuron_largest
+    from ..service import TRAFFIC_PROFILES, run_traffic
+
+    traffic_profile = TRAFFIC_PROFILES.get(profile, TRAFFIC_PROFILES["small"])
+    mesh = neuron_largest(profile)
+    rows = []
+    for n_shards, n_clients in ((0, 1), (4, 1), (4, 4)):
+        cell = run_traffic(
+            mesh, traffic_profile, n_shards=n_shards, n_clients=n_clients
+        )
+        rows.append(
+            {
+                "strategy": cell["strategy"],
+                "n_shards": cell["n_shards"],
+                "n_clients": cell["n_clients"],
+                "throughput_qps": round(cell["throughput_qps"], 1),
+                "p50_ms": round(cell["p50_ms"], 3),
+                "p99_ms": round(cell["p99_ms"], 3),
+                "maintenance_s": round(cell["maintenance_s"], 4),
+            }
+        )
+    return rows

@@ -1,0 +1,24 @@
+"""Sharded concurrent query service: partition, route, fan out, merge.
+
+The production-shaped layer over the single-threaded query engine: the mesh
+is cut into Hilbert-contiguous shards (:mod:`repro.service.partition`),
+each served by its own execution strategy on a worker-thread pool, behind a
+front-end that routes boxes to overlapping shards and merges per-shard
+results (:mod:`repro.service.service`).  A seeded mixed
+query/deformation load generator (:mod:`repro.service.traffic`) drives it
+for the throughput/latency benchmarks.  See ``docs/service.md``.
+"""
+
+from .partition import MeshShard, partition_mesh
+from .service import ShardedQueryService
+from .traffic import TRAFFIC_PROFILES, TrafficProfile, generate_requests, run_traffic
+
+__all__ = [
+    "TRAFFIC_PROFILES",
+    "MeshShard",
+    "ShardedQueryService",
+    "TrafficProfile",
+    "generate_requests",
+    "partition_mesh",
+    "run_traffic",
+]

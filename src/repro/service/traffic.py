@@ -1,0 +1,248 @@
+"""Seeded mixed query/deformation load generator for the sharded service.
+
+The benchmark cell the ROADMAP asks for is *service-shaped*: a mesh that
+deforms every tick, with several concurrent clients each firing bursts of
+range queries between ticks.  This module generates that traffic
+deterministically (every box, every displacement and every request
+boundary derives from one seed) and drives it against either
+
+* the **sequential baseline** — one unsharded strategy answering every
+  request in arrival order on one thread (``n_shards=0``), or
+* the **sharded service** — a :class:`~repro.service.ShardedQueryService`
+  with K shards, hammered by C client threads in parallel.
+
+Each *request* is one ``query_many`` batch (that is the unit a monitoring
+client ships); latency is measured per request, throughput over the whole
+query phase.  Both drivers replay the identical workload and deformation
+schedule, and report an order-independent checksum over all result id
+arrays, so a cell's results can be asserted bit-identical to the
+baseline's — the benchmark refuses to report a speedup for wrong answers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core import OctopusConExecutor, OctopusExecutor
+from ..core.executor import ExecutionStrategy
+from ..errors import SimulationError
+from ..mesh import Box3D, PolyhedralMesh
+from ..simulation.deformation import LocalizedPulseDeformation
+from ..workloads import random_query_workload
+from .service import ShardedQueryService
+
+__all__ = ["TRAFFIC_PROFILES", "TrafficProfile", "generate_requests", "run_traffic"]
+
+#: strategy factories the traffic driver knows how to shard
+STRATEGY_FACTORIES: dict[str, Callable[[], ExecutionStrategy]] = {
+    "octopus": OctopusExecutor,
+    "octopus-con": OctopusConExecutor,
+}
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """Shape of one traffic run (all randomness derives from ``seed``).
+
+    ``n_steps`` deformation ticks; between consecutive ticks every client
+    issues ``requests_per_client`` requests of ``queries_per_request``
+    boxes each.  The deformation is a localized pulse moving
+    ``deformation_sparsity`` of the vertices per tick — sparse deltas, the
+    shape the per-shard delta slicing is built for.
+    """
+
+    n_steps: int = 3
+    n_clients: int = 4
+    requests_per_client: int = 2
+    queries_per_request: int = 8
+    selectivity: float = 0.003
+    seed: int = 42
+    deformation_sparsity: float = 0.03
+    deformation_amplitude: float = 0.002
+
+    def total_queries(self) -> int:
+        """Boxes issued over the whole run (all steps, clients and requests)."""
+        return (
+            self.n_steps
+            * self.n_clients
+            * self.requests_per_client
+            * self.queries_per_request
+        )
+
+
+#: per-dataset-profile traffic shapes shared by the CLI experiment and the
+#: traffic benchmark: enough requests that the query phase dominates setup
+TRAFFIC_PROFILES: dict[str, TrafficProfile] = {
+    "tiny": TrafficProfile(
+        n_steps=2, n_clients=4, requests_per_client=2, queries_per_request=8
+    ),
+    "small": TrafficProfile(
+        n_steps=3, n_clients=4, requests_per_client=2, queries_per_request=32
+    ),
+    "medium": TrafficProfile(
+        n_steps=3, n_clients=4, requests_per_client=4, queries_per_request=64
+    ),
+}
+
+
+def generate_requests(
+    mesh: PolyhedralMesh, profile: TrafficProfile
+) -> list[list[list[list[Box3D]]]]:
+    """The full request schedule: ``requests[step][client][request]`` -> boxes.
+
+    Boxes are sized against the *initial* positions (the schedule must be
+    identical for every cell replaying the same deformation), centred on
+    seeded random vertices like the paper's monitoring workload.
+    """
+    workload = random_query_workload(
+        mesh,
+        selectivity=profile.selectivity,
+        n_queries=profile.total_queries(),
+        seed=profile.seed,
+        description="traffic",
+    )
+    boxes = iter(workload.boxes)
+    return [
+        [
+            [
+                [next(boxes) for _ in range(profile.queries_per_request)]
+                for _ in range(profile.requests_per_client)
+            ]
+            for _ in range(profile.n_clients)
+        ]
+        for _ in range(profile.n_steps)
+    ]
+
+
+def _request_checksum(results) -> int:
+    """Order-independent digest of a request's result id arrays.
+
+    Summing per-query digests keeps the value independent of which thread
+    finished first, while still pinning every id of every result.
+    """
+    total = 0
+    for result in results:
+        ids = result.vertex_ids
+        digest = int(ids.size) * 0x9E3779B97F4A7C15 + int(ids.sum()) * 0x100000001B3
+        if ids.size:
+            digest += int((ids * np.arange(1, ids.size + 1, dtype=np.int64)).sum())
+        total = (total + digest) % (1 << 63)
+    return total
+
+
+def _percentile_ms(latencies: Sequence[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies, dtype=np.float64), q) * 1e3)
+
+
+def run_traffic(
+    mesh: PolyhedralMesh,
+    profile: TrafficProfile,
+    n_shards: int,
+    n_clients: int | None = None,
+    strategy: str = "octopus",
+) -> dict:
+    """Drive one traffic cell and report throughput, latency and a checksum.
+
+    ``n_shards == 0`` runs the sequential single-strategy baseline (one
+    thread, requests in arrival order); ``n_shards >= 1`` runs the sharded
+    service with ``n_clients`` concurrent client threads.  The input mesh
+    is copied, so cells are independent and replayable.
+    """
+    if strategy not in STRATEGY_FACTORIES:
+        raise SimulationError(
+            f"unknown traffic strategy {strategy!r}; expected one of "
+            f"{sorted(STRATEGY_FACTORIES)}"
+        )
+    factory = STRATEGY_FACTORIES[strategy]
+    n_clients = profile.n_clients if n_clients is None else n_clients
+    requests = generate_requests(mesh, profile)
+    run_mesh = mesh.copy(name=f"{mesh.name}-traffic")
+    deformation = LocalizedPulseDeformation(
+        sparsity=profile.deformation_sparsity,
+        amplitude=profile.deformation_amplitude,
+        seed=profile.seed,
+    )
+    deformation.bind(run_mesh)
+
+    latencies: list[float] = []
+    checksum = 0
+    checksum_lock = threading.Lock()
+    maintenance_s = 0.0
+    query_wall_s = 0.0
+
+    def serve_client(target, client_requests: list[list[Box3D]]) -> None:
+        nonlocal checksum
+        client_latencies = []
+        client_digest = 0
+        for boxes in client_requests:
+            started = time.perf_counter()
+            results = target.query_many(boxes)
+            client_latencies.append(time.perf_counter() - started)
+            client_digest = (client_digest + _request_checksum(results)) % (1 << 63)
+        with checksum_lock:
+            latencies.extend(client_latencies)
+            checksum = (checksum + client_digest) % (1 << 63)
+
+    # One unmeasured warmup request: the first query pays one-time lazy
+    # costs (adjacency CSR build, allocator/BLAS warmup) that would swamp a
+    # short measured run; queries are read-only, so replaying a request
+    # changes nothing.
+    warmup = requests[0][0][0]
+
+    if n_shards == 0:
+        executor = factory()
+        prep_s = executor.prepare(run_mesh)
+        run_mesh.adjacency  # noqa: B018 - build the lazy CSR outside the measured window
+        executor.query_many(warmup)
+        for step_index, step_requests in enumerate(requests):
+            delta = deformation.apply(step_index + 1)
+            maintenance_s += executor.on_step(delta)
+            started = time.perf_counter()
+            for client_requests in step_requests:
+                serve_client(executor, client_requests)
+            query_wall_s += time.perf_counter() - started
+        label = f"sequential-{strategy}"
+    else:
+        with ShardedQueryService(factory, n_shards=n_shards) as service:
+            prep_s = service.prepare(run_mesh)
+            service.warm()
+            service.query_many(warmup)
+            for step_index, step_requests in enumerate(requests):
+                delta = deformation.apply(step_index + 1)
+                maintenance_s += service.on_step(delta)
+                threads = [
+                    threading.Thread(target=serve_client, args=(service, client_requests))
+                    for client_requests in step_requests[:n_clients]
+                ]
+                started = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                # Clients beyond the thread budget still replay their share
+                # of the workload (so every cell answers the same queries),
+                # just from the calling thread.
+                for client_requests in step_requests[n_clients:]:
+                    serve_client(service, client_requests)
+                for thread in threads:
+                    thread.join()
+                query_wall_s += time.perf_counter() - started
+        label = f"sharded-{strategy}"
+
+    n_queries = profile.total_queries()
+    return {
+        "strategy": label,
+        "n_shards": int(n_shards),
+        "n_clients": int(n_clients if n_shards else 1),
+        "n_queries": n_queries,
+        "throughput_qps": n_queries / query_wall_s if query_wall_s else 0.0,
+        "p50_ms": _percentile_ms(latencies, 50),
+        "p99_ms": _percentile_ms(latencies, 99),
+        "query_wall_s": query_wall_s,
+        "maintenance_s": maintenance_s,
+        "prepare_s": prep_s,
+        "results_checksum": checksum,
+    }

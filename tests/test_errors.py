@@ -3,12 +3,12 @@
 import pytest
 
 from repro.errors import (
+    ConcurrencyError,
     DegradedExecutionError,
     DeltaValidationError,
     ExperimentError,
     FaultInjectionError,
     GeometryError,
-    IndexError_,
     MeshConnectivityError,
     MeshError,
     QueryBudgetExceeded,
@@ -31,6 +31,7 @@ SIMPLE_ERRORS = (
     FaultInjectionError,
     WorkloadError,
     ExperimentError,
+    ConcurrencyError,
 )
 
 
@@ -52,11 +53,25 @@ class TestHierarchy:
         assert issubclass(DegradedExecutionError, ReproError)
         assert issubclass(FaultInjectionError, ReproError)
 
-    def test_spatial_index_alias(self):
-        # the pre-1.1 name keeps importing and catching the same class
-        assert IndexError_ is SpatialIndexError
-        with pytest.raises(IndexError_):
+    def test_spatial_index_alias_is_deprecated(self):
+        # the pre-1.1 name still resolves to the same class, but warns
+        import repro
+        import repro.errors
+
+        for module in (repro.errors, repro):
+            with pytest.warns(DeprecationWarning, match="IndexError_ is deprecated"):
+                alias = module.IndexError_
+            assert alias is SpatialIndexError
+            assert "IndexError_" not in module.__all__
+            assert "SpatialIndexError" in module.__all__
+        with pytest.raises(SpatialIndexError):
             raise SpatialIndexError("queried before build")
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.errors
+
+        with pytest.raises(AttributeError, match="NoSuchError"):
+            repro.errors.NoSuchError  # noqa: B018
 
 
 class TestStructuredErrors:

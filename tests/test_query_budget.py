@@ -8,6 +8,8 @@ are deliberately excluded from the parity contract (they depend on machine
 timing, not on metered work).
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -119,3 +121,33 @@ class TestPartialResultsAreSubsets:
         truncated.query_budget = QueryBudget(max_visited_vertices=20, on_exhausted="partial")
         for index, result in enumerate(truncated.query_many(BOXES)):
             assert set(result.vertex_ids.tolist()) <= reference[index]
+
+
+class TestWallClockScoping:
+    """The wall-clock budget charges execution time, not queue-wait time."""
+
+    def test_deadline_starts_at_first_spend_not_construction(self):
+        budget = QueryBudget(max_wall_clock_s=0.05, on_exhausted="partial")
+        tracker = budget.start(strategy="octopus")
+        assert tracker.started_at is None  # no clock running yet
+        time.sleep(0.12)  # queue wait: longer than the whole budget
+        # the first spend starts the clock — the sleep above is not charged
+        assert tracker.spend(vertices=1)
+        assert not tracker.exhausted
+        assert tracker.started_at is not None
+
+    def test_deadline_still_enforced_after_it_starts(self):
+        budget = QueryBudget(max_wall_clock_s=0.01, on_exhausted="partial")
+        tracker = budget.start()
+        assert tracker.spend(vertices=1)  # starts the clock
+        time.sleep(0.03)
+        assert not tracker.spend(vertices=1)
+        assert tracker.exhausted_resource == "wall_clock"
+
+    def test_batch_trackers_time_independently(self, grid_mesh, executor_name):
+        # a batch builds every tracker up-front; the last query must not pay
+        # for the time the first queries spent executing
+        executor = make_executor(executor_name, grid_mesh)
+        executor.query_budget = QueryBudget(max_wall_clock_s=5.0, on_exhausted="partial")
+        results = executor.query_many(BOXES)
+        assert all(result.complete for result in results)
