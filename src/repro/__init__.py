@@ -6,22 +6,39 @@ The public API is organised in layers:
 * :mod:`repro.generators` — synthetic dataset generators;
 * :mod:`repro.simulation` — deformation models, restructuring, monitoring, driver;
 * :mod:`repro.baselines` — linear scan and index-based baselines;
-* :mod:`repro.core` — OCTOPUS, OCTOPUS-CON, the surface index and the cost model;
+* :mod:`repro.core` — OCTOPUS, OCTOPUS-CON, the surface index, the cost model,
+  and the strategy-wrapper composition surface;
+* :mod:`repro.cache` — the delta-invalidated query-result cache;
+* :mod:`repro.service` — mesh partitioning and the sharded query service;
 * :mod:`repro.workloads` — query workloads and selectivity estimation;
 * :mod:`repro.experiments` — per-figure experiment drivers and reporting.
 
 The most common entry points are re-exported here::
 
-    from repro import OctopusExecutor, Box3D
+    from repro import Box3D, build_strategy
     from repro.generators import neuron_mesh
 
     mesh = neuron_mesh(resolution=16)
-    octopus = OctopusExecutor()
+    octopus = build_strategy("octopus", caching=True, resilience=True)
     octopus.prepare(mesh)
     result = octopus.query(Box3D.cube(mesh.bounding_box().center, 0.5))
+
+``build_strategy`` composes wrapper stacks (result caching, the resilience
+ladder, query budgets) uniformly; the bare executor classes remain available
+for direct construction.
 """
 
-from . import baselines, core, experiments, generators, mesh, service, simulation, workloads
+from . import (
+    baselines,
+    cache,
+    core,
+    experiments,
+    generators,
+    mesh,
+    service,
+    simulation,
+    workloads,
+)
 from .baselines import (
     LinearScanExecutor,
     LURTreeExecutor,
@@ -30,6 +47,7 @@ from .baselines import (
     ThrowawayKDTreeExecutor,
     ThrowawayOctreeExecutor,
 )
+from .cache import CacheStats, CachingStrategy, QueryResultCache
 from .core import (
     CostModel,
     DeformationDelta,
@@ -39,6 +57,7 @@ from .core import (
     QueryCounters,
     QueryResult,
     ResilientStrategy,
+    StrategyWrapper,
     SurfaceIndex,
     TopologyDelta,
     calibrate_cost_model,
@@ -59,72 +78,77 @@ from .errors import (
     SpatialIndexError,
     WorkloadError,
 )
+from .factory import build_strategy, make_strategy
 from .mesh import Box3D, HexahedralMesh, PolyhedralMesh, TetrahedralMesh, TriangleMesh
 from .service import MeshShard, ShardedQueryService, partition_mesh
 
 __version__ = "1.0.0"
 
+#: the public surface, ordered by layer (mesh substrate outward to the
+#: experiment harness) and alphabetically within each layer; pinned by
+#: tests/test_public_api.py so accidental surface growth fails CI
 __all__ = [
+    # version
+    "__version__",
+    # layer modules
+    "baselines",
+    "cache",
+    "core",
+    "experiments",
+    "generators",
+    "mesh",
+    "service",
+    "simulation",
+    "workloads",
+    # mesh substrate
     "Box3D",
-    "ConcurrencyError",
+    "HexahedralMesh",
+    "PolyhedralMesh",
+    "TetrahedralMesh",
+    "TriangleMesh",
+    # core engine: deltas, results, executors, cost model
     "CostModel",
     "DeformationDelta",
+    "OctopusConExecutor",
+    "OctopusExecutor",
+    "QueryCounters",
+    "QueryResult",
+    "SurfaceIndex",
+    "TopologyDelta",
+    "calibrate_cost_model",
+    # baselines
+    "LURTreeExecutor",
+    "LinearScanExecutor",
+    "QUTradeExecutor",
+    "ThrowawayGridExecutor",
+    "ThrowawayKDTreeExecutor",
+    "ThrowawayOctreeExecutor",
+    # composition surface: wrappers, budgets, factory
+    "CacheStats",
+    "CachingStrategy",
+    "QueryBudget",
+    "QueryResultCache",
+    "ResilientStrategy",
+    "StrategyWrapper",
+    "build_strategy",
+    "make_strategy",
+    # sharded service
+    "MeshShard",
+    "ShardedQueryService",
+    "partition_mesh",
+    # errors
+    "ConcurrencyError",
     "DegradedExecutionError",
     "DeltaValidationError",
     "ExperimentError",
     "FaultInjectionError",
     "GeometryError",
-    "HexahedralMesh",
-    "LURTreeExecutor",
-    "LinearScanExecutor",
     "MeshConnectivityError",
     "MeshError",
-    "MeshShard",
-    "OctopusConExecutor",
-    "OctopusExecutor",
-    "PolyhedralMesh",
-    "QUTradeExecutor",
-    "QueryBudget",
     "QueryBudgetExceeded",
-    "QueryCounters",
     "QueryError",
-    "QueryResult",
     "ReproError",
-    "ResilientStrategy",
-    "ShardedQueryService",
     "SimulationError",
     "SpatialIndexError",
-    "SurfaceIndex",
-    "TetrahedralMesh",
-    "ThrowawayGridExecutor",
-    "ThrowawayKDTreeExecutor",
-    "ThrowawayOctreeExecutor",
-    "TopologyDelta",
-    "TriangleMesh",
     "WorkloadError",
-    "__version__",
-    "baselines",
-    "calibrate_cost_model",
-    "core",
-    "experiments",
-    "generators",
-    "mesh",
-    "partition_mesh",
-    "service",
-    "simulation",
-    "workloads",
 ]
-
-
-def __getattr__(name: str):
-    """Deprecated top-level aliases, resolved lazily so importing them warns."""
-    if name == "IndexError_":
-        import warnings
-
-        warnings.warn(
-            "repro.IndexError_ is deprecated; use repro.SpatialIndexError instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return SpatialIndexError
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,15 @@
+"""Delta-invalidated query-result caching.
+
+The dirty AABBs the delta pipeline computes for index maintenance double as
+cache-invalidation certificates: a cached range-query answer stays exact
+until a deformation or restructuring delta's dirty region reaches its box.
+:class:`QueryResultCache` is the store, :class:`CachingStrategy` the
+:class:`~repro.core.executor.StrategyWrapper` that puts it in front of any
+execution strategy; see ``docs/caching.md`` for the invalidation contract
+and composition order.
+"""
+
+from .result_cache import CacheStats, QueryResultCache
+from .strategy import CachingStrategy
+
+__all__ = ["CacheStats", "CachingStrategy", "QueryResultCache"]

@@ -1,0 +1,322 @@
+"""Delta-invalidated query-result cache.
+
+The paper's steering workloads (Section V-C) are dominated by clients
+re-polling the same spatial regions tick after tick.  A range query's answer
+is a pure function of the vertex positions inside its box, so the exact dirty
+AABBs the delta pipeline already computes (:class:`~repro.core.delta.
+DeformationDelta`, :class:`~repro.core.delta.TopologyDelta`) double as cache
+invalidation certificates: an entry whose box is disjoint from every dirty
+region since it was stored is still the exact answer, and a repeated query
+becomes a hash lookup instead of a probe/walk/crawl.
+
+**Invalidation contract** (why a surviving entry is still exact):
+
+* deformation — a vertex's membership in a closed box can only change if the
+  vertex moved, and every moved vertex's old *and* new position lie inside
+  the delta's dirty AABB (audited by
+  :func:`~repro.core.resilience.validate_delta`).  An entry box disjoint from
+  the dirty AABB therefore gained no vertex and lost none.  The optional
+  ``membership="exact"`` mode tightens this per entry: instead of the AABB
+  intersection alone, it drops an intersecting entry only if some moved old
+  or new position actually lies inside the entry's box — still exact, and it
+  keeps entries alive when the dirty AABB is large but the motion misses them;
+* topology — restructuring never moves pre-existing vertices and appended
+  vertices lie inside the dirty AABB (the appended-tail contract), so box
+  membership can only change inside that AABB; the conservative intersection
+  test is used (no exact mode: connectivity changes alter crawl reachability
+  in ways a per-vertex test cannot bound);
+* ``full()`` deltas and deltas without a dirty AABB flush the whole cache —
+  there is no certificate to key off.
+
+Keys quantize the query box's six coordinates onto a ``quantum`` grid, but a
+hit additionally verifies the stored corners bit-for-bit, so two distinct
+boxes that collide in one quantum cell are a *miss*, never a wrong answer.
+All public methods are thread-safe (the sharded service answers queries from
+a pool while maintenance is excluded by its write lock, but the cache does
+not rely on that).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import QueryError
+from ..mesh import Box3D, points_in_boxes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.delta import DeformationDelta, TopologyDelta
+    from ..core.result import QueryResult
+
+__all__ = ["CacheStats", "QueryResultCache"]
+
+MEMBERSHIP_MODES = ("aabb", "exact")
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's traffic since construction (or the last drain).
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup outcomes (a quantum-cell collision counts as a miss).
+    invalidations:
+        Entries dropped because a delta's dirty region reached their box.
+    flushes:
+        Whole-cache clears (``full()`` deltas, repartitions, ``prepare``).
+    evictions:
+        Entries dropped by the LRU capacity bound, not by staleness.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    flushes: int = 0
+    evictions: int = 0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return a new record with the component-wise sum."""
+        merged = CacheStats()
+        for f in fields(CacheStats):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def __iadd__(self, other: "CacheStats") -> "CacheStats":
+        for f in fields(CacheStats):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 with no traffic)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        record = {f.name: getattr(self, f.name) for f in fields(CacheStats)}
+        record["hit_rate"] = self.hit_rate()
+        return record
+
+
+class _Entry:
+    """One cached answer: the exact box corners plus the result vertex ids."""
+
+    __slots__ = ("lo", "hi", "vertex_ids")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, vertex_ids: np.ndarray) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.vertex_ids = vertex_ids
+
+
+class QueryResultCache:
+    """LRU cache of range-query answers keyed by quantized query box.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity bound; the least-recently-used entry is evicted first.
+    quantum:
+        Grid pitch for the lookup key.  Corners are stored exactly and
+        verified on every hit, so the quantum only controls which boxes land
+        in the same hash bucket — it can never cause a wrong answer.
+    membership:
+        Deformation invalidation mode: ``"aabb"`` drops every entry whose box
+        intersects the delta's dirty AABB; ``"exact"`` additionally requires
+        a moved vertex's old or new position inside the entry's box (tighter,
+        still exact, costs O(entries x moved) vectorised).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 2048,
+        quantum: float = 1e-9,
+        membership: str = "aabb",
+    ) -> None:
+        if max_entries <= 0:
+            raise QueryError("max_entries must be positive")
+        if not (quantum > 0.0 and np.isfinite(quantum)):
+            raise QueryError("quantum must be positive and finite")
+        if membership not in MEMBERSHIP_MODES:
+            raise QueryError(
+                f"membership must be one of {MEMBERSHIP_MODES}, got {membership!r}"
+            )
+        self.max_entries = max_entries
+        self.quantum = quantum
+        self.membership = membership
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def _key(self, box: Box3D) -> tuple:
+        q = self.quantum
+        lo, hi = box.lo, box.hi
+        return (
+            int(round(lo[0] / q)), int(round(lo[1] / q)), int(round(lo[2] / q)),
+            int(round(hi[0] / q)), int(round(hi[1] / q)), int(round(hi[2] / q)),
+        )
+
+    def get(self, box: Box3D) -> np.ndarray | None:
+        """The cached vertex ids for ``box``, or ``None`` on a miss.
+
+        A hit requires the stored corners to equal the queried corners
+        bit-for-bit; a quantum-cell collision is recorded (and answered) as a
+        miss.  Hits refresh the entry's LRU position.
+        """
+        key = self._key(box)
+        with self._lock:
+            entry = self._entries.get(key)
+            if (
+                entry is not None
+                and np.array_equal(entry.lo, box.lo)
+                and np.array_equal(entry.hi, box.hi)
+            ):
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return entry.vertex_ids
+            self._stats.misses += 1
+            return None
+
+    def put(self, box: Box3D, result: "QueryResult") -> None:
+        """Store a complete result; partial (budget-truncated) results are not
+        cacheable and are silently ignored."""
+        if not result.complete:
+            return
+        entry = _Entry(
+            box.lo.copy(), box.hi.copy(), np.asarray(result.vertex_ids, dtype=np.int64)
+        )
+        key = self._key(box)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def _corner_arrays(self) -> tuple[list, np.ndarray, np.ndarray]:
+        keys = list(self._entries)
+        los = np.stack([self._entries[k].lo for k in keys])
+        his = np.stack([self._entries[k].hi for k in keys])
+        return keys, los, his
+
+    def _drop(self, keys: list, mask: np.ndarray) -> int:
+        dropped = 0
+        for key, hit in zip(keys, mask):
+            if hit:
+                del self._entries[key]
+                dropped += 1
+        self._stats.invalidations += dropped
+        return dropped
+
+    def invalidate_deformation(self, delta: "DeformationDelta") -> int:
+        """Drop entries a deformation step may have changed; returns the count.
+
+        Zero-moved rest steps keep every entry live; ``full()`` deltas (and
+        sparse deltas missing their dirty AABB) flush everything.
+        """
+        if delta.is_full:
+            return self.flush()
+        if delta.n_moved == 0:
+            return 0
+        if delta.dirty_box is None:
+            return self.flush()
+        with self._lock:
+            if not self._entries:
+                return 0
+            keys, los, his = self._corner_arrays()
+            stale = np.all(los <= delta.dirty_box.hi, axis=1) & np.all(
+                his >= delta.dirty_box.lo, axis=1
+            )
+            if self.membership == "exact" and np.any(stale):
+                moved = [
+                    np.asarray(pts, dtype=np.float64)
+                    for pts in (delta.old_positions, delta.new_positions)
+                    if pts is not None and np.asarray(pts).size
+                ]
+                if moved:
+                    points = np.concatenate(moved, axis=0)
+                    candidates = np.nonzero(stale)[0]
+                    touched = points_in_boxes(
+                        points, los[candidates], his[candidates]
+                    ).any(axis=1)
+                    stale[candidates] = touched
+            return self._drop(keys, stale)
+
+    def invalidate_topology(self, delta: "TopologyDelta") -> int:
+        """Drop entries a restructuring step may have changed; returns the count.
+
+        Conservative dirty-AABB intersection only: connectivity changes alter
+        crawl reachability inside the dirty region, which a per-vertex
+        membership test cannot bound, so there is no ``"exact"`` tightening
+        on this path.
+        """
+        if delta.is_empty:
+            return 0
+        if delta.is_full or delta.dirty_box is None:
+            return self.flush()
+        with self._lock:
+            if not self._entries:
+                return 0
+            keys, los, his = self._corner_arrays()
+            stale = np.all(los <= delta.dirty_box.hi, axis=1) & np.all(
+                his >= delta.dirty_box.lo, axis=1
+            )
+            return self._drop(keys, stale)
+
+    def flush(self) -> int:
+        """Drop every entry (full deltas, repartitions, prepare)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._stats.flushes += 1
+            return dropped
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """A copy of the counters accumulated since the last drain."""
+        with self._lock:
+            return CacheStats().merge(self._stats)
+
+    def drain_stats(self) -> CacheStats:
+        """Return the counters accumulated since the last drain, and reset."""
+        with self._lock:
+            stats = self._stats
+            self._stats = CacheStats()
+            return stats
+
+    def memory_bytes(self) -> int:
+        """Bytes held by cached corner arrays and result ids."""
+        with self._lock:
+            return sum(
+                e.lo.nbytes + e.hi.nbytes + e.vertex_ids.nbytes
+                for e in self._entries.values()
+            )
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "quantum": self.quantum,
+                "membership": self.membership,
+            }

@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 from .experiments import format_table
 from .experiments import figures as figure_drivers
 from .experiments.harness import (
+    cache_comparison_rows,
     fault_injection_rows,
     restructuring_maintenance_rows,
     sparse_maintenance_rows,
@@ -119,6 +120,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[str], list[dict]], str]] = {
     "traffic": (
         lambda profile: traffic_rows(profile),
         "Traffic — sharded service throughput/latency vs sequential baseline",
+    ),
+    "cache": (
+        lambda profile: cache_comparison_rows(profile),
+        "Cache — delta-invalidated result cache on a repeated-query workload",
     ),
 }
 

@@ -5,7 +5,7 @@ from .cost_model import CostModel, calibrate_cost_model
 from .crawler import BatchCrawlOutcome, CrawlOutcome, crawl, crawl_many
 from .delta import DeformationDelta, TopologyDelta
 from .directed_walk import BatchWalkOutcome, WalkOutcome, directed_walk, directed_walk_many
-from .executor import ExecutionStrategy
+from .executor import ExecutionStrategy, StrategyWrapper
 from .octopus import OctopusExecutor
 from .octopus_con import OctopusConExecutor
 from .resilience import (
@@ -40,6 +40,7 @@ __all__ = [
     "QueryCounters",
     "QueryResult",
     "ResilientStrategy",
+    "StrategyWrapper",
     "SurfaceIndex",
     "SurfaceProbeOutcome",
     "ThreadLocalScratch",

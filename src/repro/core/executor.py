@@ -42,7 +42,7 @@ from .result import QueryCounters, QueryResult
 if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime cycle)
     from .resilience import QueryBudget
 
-__all__ = ["ExecutionStrategy"]
+__all__ = ["ExecutionStrategy", "StrategyWrapper"]
 
 
 class ExecutionStrategy(ABC):
@@ -230,3 +230,152 @@ class ExecutionStrategy(ABC):
             "maintenance_time": self.maintenance_time,
             "memory_overhead_bytes": self.memory_overhead_bytes(),
         }
+
+
+class StrategyWrapper(ExecutionStrategy):
+    """Base class for strategies that decorate another strategy.
+
+    The repo grows wrappers — the resilience ladder
+    (:class:`~repro.core.resilience.ResilientStrategy`), the delta-invalidated
+    result cache (:class:`~repro.cache.CachingStrategy`) — and each one must
+    forward the full lifecycle protocol *and* keep the accounting ledger
+    single-sourced.  This base centralises both so a wrapper subclass only
+    overrides the calls it actually changes:
+
+    * **lifecycle forwarding** — :meth:`prepare`, :meth:`on_step`,
+      :meth:`on_restructure`, :meth:`query`, :meth:`query_many`,
+      :meth:`memory_overhead_bytes` and :meth:`describe` all delegate to
+      :attr:`inner`;
+    * **counter/ledger passthrough** — ``preprocessing_time``,
+      ``maintenance_time``, ``maintenance_entries``, ``query_budget`` and
+      ``last_fused_crawl`` are forwarding properties, so there is exactly one
+      ledger no matter how deep the wrapper stack is and
+      ``ResilientStrategy(CachingStrategy(octopus)).maintenance_time`` reads
+      the same number at every level;
+    * **event plumbing** — :meth:`note_step`,
+      :meth:`drain_degradation_events` and :meth:`drain_cache_stats` forward
+      duck-typed, so a drain hook defined anywhere in the stack is reachable
+      from the outermost wrapper (the simulator only talks to that one).
+
+    Wrapping an already-prepared strategy preserves its accounting and
+    budget: the constructor snapshots them around ``super().__init__()``
+    because the base initialiser assigns the accounting attributes *through*
+    the forwarding properties, which would otherwise zero the inner ledger.
+
+    Use :func:`repro.build_strategy` to compose wrapper stacks by name
+    instead of hand-nesting constructors.
+    """
+
+    def __init__(self, inner: ExecutionStrategy) -> None:
+        self.inner = inner
+        snapshot = (
+            inner.preprocessing_time,
+            inner.maintenance_time,
+            inner.maintenance_entries,
+            getattr(inner, "query_budget", None),
+        )
+        super().__init__()
+        inner.preprocessing_time = snapshot[0]
+        inner.maintenance_time = snapshot[1]
+        inner.maintenance_entries = snapshot[2]
+        inner.query_budget = snapshot[3]
+        self.name = inner.name
+
+    def unwrap(self) -> ExecutionStrategy:
+        """The innermost (unwrapped) strategy of this wrapper stack."""
+        strategy: ExecutionStrategy = self.inner
+        while isinstance(strategy, StrategyWrapper):
+            strategy = strategy.inner
+        return strategy
+
+    # -- counter/ledger passthrough (single ledger per wrapper stack) ----
+    @property
+    def preprocessing_time(self) -> float:
+        return self.inner.preprocessing_time
+
+    @preprocessing_time.setter
+    def preprocessing_time(self, value: float) -> None:
+        self.inner.preprocessing_time = value
+
+    @property
+    def maintenance_time(self) -> float:
+        return self.inner.maintenance_time
+
+    @maintenance_time.setter
+    def maintenance_time(self, value: float) -> None:
+        self.inner.maintenance_time = value
+
+    @property
+    def maintenance_entries(self) -> int:
+        return self.inner.maintenance_entries
+
+    @maintenance_entries.setter
+    def maintenance_entries(self, value: int) -> None:
+        self.inner.maintenance_entries = value
+
+    @property
+    def query_budget(self) -> "QueryBudget | None":
+        return getattr(self.inner, "query_budget", None)
+
+    @query_budget.setter
+    def query_budget(self, budget: "QueryBudget | None") -> None:
+        self.inner.query_budget = budget
+
+    @property
+    def last_fused_crawl(self):
+        """Fused-batch accounting of the inner strategy's last query_many."""
+        return getattr(self.inner, "last_fused_crawl", None)
+
+    @last_fused_crawl.setter
+    def last_fused_crawl(self, value) -> None:
+        if hasattr(self.inner, "last_fused_crawl"):
+            self.inner.last_fused_crawl = value
+
+    # -- event plumbing (duck-typed, reachable through the whole stack) --
+    def note_step(self, step: int | None) -> None:
+        """Tag subsequent events with the simulation step (forwarded)."""
+        inner_note = getattr(self.inner, "note_step", None)
+        if inner_note is not None:
+            inner_note(step)
+
+    def drain_degradation_events(self) -> list:
+        """Return and clear fallback events recorded anywhere in the stack."""
+        drain = getattr(self.inner, "drain_degradation_events", None)
+        return drain() if drain is not None else []
+
+    def drain_cache_stats(self):
+        """Return and reset cache statistics recorded anywhere in the stack.
+
+        ``None`` when no layer of the stack maintains a result cache, so
+        report code can distinguish "no cache" from "cache, zero traffic".
+        """
+        drain = getattr(self.inner, "drain_cache_stats", None)
+        return drain() if drain is not None else None
+
+    # -- lifecycle forwarding --------------------------------------------
+    @property
+    def mesh(self) -> PolyhedralMesh:
+        return self.inner.mesh
+
+    def prepare(self, mesh: PolyhedralMesh) -> float:
+        self._mesh = mesh
+        return self.inner.prepare(mesh)
+
+    def on_step(self, delta: DeformationDelta) -> float:
+        return self.inner.on_step(delta)
+
+    def on_restructure(self, delta: TopologyDelta) -> float:
+        return self.inner.on_restructure(delta)
+
+    def query(self, box: Box3D) -> QueryResult:
+        return self.inner.query(box)
+
+    def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
+        return self.inner.query_many(boxes)
+
+    # -- accounting ------------------------------------------------------
+    def memory_overhead_bytes(self) -> int:
+        return self.inner.memory_overhead_bytes()
+
+    def describe(self) -> dict:
+        return self.inner.describe()

@@ -42,7 +42,7 @@ from ..errors import (
 )
 from ..mesh import Box3D, PolyhedralMesh, points_in_box
 from .delta import DeformationDelta, TopologyDelta
-from .executor import ExecutionStrategy
+from .executor import ExecutionStrategy, StrategyWrapper
 from .result import QueryCounters, QueryResult
 
 __all__ = [
@@ -518,7 +518,7 @@ class FallbackEvent:
         }
 
 
-class ResilientStrategy(ExecutionStrategy):
+class ResilientStrategy(StrategyWrapper):
     """Wrap any :class:`~repro.core.executor.ExecutionStrategy` in the ladder.
 
     Failure classes and the rung each one takes:
@@ -551,73 +551,22 @@ class ResilientStrategy(ExecutionStrategy):
     """
 
     def __init__(self, inner: ExecutionStrategy, paranoid: bool = False) -> None:
-        # the forwarding properties below need `inner` before super().__init__
-        # assigns the accounting attributes through them; snapshot/restore so
-        # wrapping an already-prepared strategy keeps its accounting
-        self.inner = inner
-        snapshot = (inner.preprocessing_time, inner.maintenance_time, inner.maintenance_entries)
-        super().__init__()
-        inner.preprocessing_time, inner.maintenance_time, inner.maintenance_entries = snapshot
-        self.name = inner.name
+        super().__init__(inner)
         self.paranoid = paranoid
         self.degradation_events: list[FallbackEvent] = []
         self._step: int | None = None
-
-    # -- accounting forwards to the wrapped strategy -------------------
-    @property
-    def preprocessing_time(self) -> float:
-        return self.inner.preprocessing_time
-
-    @preprocessing_time.setter
-    def preprocessing_time(self, value: float) -> None:
-        self.inner.preprocessing_time = value
-
-    @property
-    def maintenance_time(self) -> float:
-        return self.inner.maintenance_time
-
-    @maintenance_time.setter
-    def maintenance_time(self, value: float) -> None:
-        self.inner.maintenance_time = value
-
-    @property
-    def maintenance_entries(self) -> int:
-        return self.inner.maintenance_entries
-
-    @maintenance_entries.setter
-    def maintenance_entries(self, value: int) -> None:
-        self.inner.maintenance_entries = value
-
-    @property
-    def query_budget(self) -> QueryBudget | None:
-        return getattr(self.inner, "query_budget", None)
-
-    @query_budget.setter
-    def query_budget(self, budget: QueryBudget | None) -> None:
-        self.inner.query_budget = budget
-
-    @property
-    def last_fused_crawl(self):
-        """Fused-batch accounting of the inner strategy's last query_many."""
-        return getattr(self.inner, "last_fused_crawl", None)
-
-    @last_fused_crawl.setter
-    def last_fused_crawl(self, value) -> None:
-        if hasattr(self.inner, "last_fused_crawl"):
-            self.inner.last_fused_crawl = value
 
     # -- event plumbing -------------------------------------------------
     def note_step(self, step: int | None) -> None:
         """Tag subsequent fallback events with the simulation step."""
         self._step = step
-        inner_note = getattr(self.inner, "note_step", None)
-        if inner_note is not None:
-            inner_note(step)
+        super().note_step(step)
 
     def drain_degradation_events(self) -> list[FallbackEvent]:
-        """Return and clear the recorded fallback events."""
+        """Return and clear the recorded fallback events (own + inner's)."""
         events = self.degradation_events
         self.degradation_events = []
+        events.extend(super().drain_degradation_events())
         return events
 
     def _record(self, operation: str, rung: str, reason: str, error: BaseException | str) -> None:
@@ -633,10 +582,6 @@ class ResilientStrategy(ExecutionStrategy):
         )
 
     # -- lifecycle ------------------------------------------------------
-    def prepare(self, mesh: PolyhedralMesh) -> float:
-        self._mesh = mesh
-        return self.inner.prepare(mesh)
-
     def _maintain(
         self,
         operation: str,
@@ -761,11 +706,8 @@ class ResilientStrategy(ExecutionStrategy):
         return [self.query(box) for box in box_list]
 
     # -- accounting -----------------------------------------------------
-    def memory_overhead_bytes(self) -> int:
-        return self.inner.memory_overhead_bytes()
-
     def describe(self) -> dict:
-        record = self.inner.describe()
+        record = super().describe()
         record["resilient"] = True
         record["paranoid"] = self.paranoid
         return record

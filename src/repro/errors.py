@@ -15,8 +15,6 @@ can classify without parsing messages.
 
 from __future__ import annotations
 
-import warnings
-
 __all__ = [
     "ConcurrencyError",
     "DegradedExecutionError",
@@ -198,21 +196,3 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment driver receives inconsistent parameters."""
-
-
-def __getattr__(name: str):
-    """Deprecated aliases, resolved lazily so importing them warns.
-
-    ``IndexError_`` is the pre-1.1 name of :class:`SpatialIndexError`; it
-    still imports (and still catches the same class) but now emits a
-    :class:`DeprecationWarning` at the import site instead of lingering
-    silently in the namespace.
-    """
-    if name == "IndexError_":
-        warnings.warn(
-            "repro.errors.IndexError_ is deprecated; use SpatialIndexError instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return SpatialIndexError
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,18 +12,10 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from ..baselines import (
-    LinearScanExecutor,
-    LURTreeExecutor,
-    QUTradeExecutor,
-    RUMTreeExecutor,
-    ThrowawayGridExecutor,
-    ThrowawayKDTreeExecutor,
-    ThrowawayOctreeExecutor,
-)
-from ..core import OctopusConExecutor, OctopusExecutor, ResilientStrategy
+from ..core import OctopusConExecutor, ResilientStrategy
 from ..core.executor import ExecutionStrategy
 from ..errors import ExperimentError
+from ..factory import build_strategy, make_strategy
 from ..mesh import Box3D, PolyhedralMesh
 from ..simulation import (
     AffineDeformation,
@@ -38,11 +30,12 @@ from ..simulation import (
     SpinePulsationDeformation,
     periodic_restructuring,
 )
-from ..workloads import QueryWorkload, random_query_workload
+from ..workloads import QueryWorkload, random_query_workload, repeated_query_provider
 
 __all__ = [
     "strategy_suite",
     "make_strategy",
+    "build_strategy",
     "make_deformation",
     "run_comparison",
     "comparison_rows",
@@ -53,34 +46,14 @@ __all__ = [
     "sparsity_sweep_rows",
     "degradation_rows",
     "fault_injection_rows",
+    "cache_rows",
+    "cache_comparison_rows",
     "fixed_workload_provider",
     "per_step_workload_provider",
 ]
 
 #: strategies compared in Figure 6, in the paper's order
 PAPER_COMPARISON = ("octopus", "linear-scan", "octree", "lur-tree", "qu-trade")
-
-
-def make_strategy(name: str, **kwargs) -> ExecutionStrategy:
-    """Instantiate an execution strategy by its report name."""
-    factories: dict[str, Callable[..., ExecutionStrategy]] = {
-        "octopus": OctopusExecutor,
-        "octopus-con": OctopusConExecutor,
-        "linear-scan": LinearScanExecutor,
-        "octree": ThrowawayOctreeExecutor,
-        "kd-tree": ThrowawayKDTreeExecutor,
-        "grid": ThrowawayGridExecutor,
-        "lur-tree": LURTreeExecutor,
-        "qu-trade": QUTradeExecutor,
-        "rum-tree": RUMTreeExecutor,
-    }
-    try:
-        factory = factories[name]
-    except KeyError as exc:
-        raise ExperimentError(
-            f"unknown strategy {name!r}; expected one of {sorted(factories)}"
-        ) from exc
-    return factory(**kwargs)
 
 
 def strategy_suite(names: Sequence[str] = PAPER_COMPARISON) -> list[ExecutionStrategy]:
@@ -478,6 +451,84 @@ def work_sharing_rows(report: SimulationReport) -> list[dict]:
             }
         )
     return rows
+
+
+def cache_rows(report: SimulationReport) -> list[dict]:
+    """Per-strategy result-cache ledger: hits, misses, invalidation traffic.
+
+    For every strategy the simulator's drained
+    :class:`~repro.cache.CacheStats` are set against its query time; when the
+    report also contains the fresh (uncached) variant of a ``cached-<name>``
+    strategy, ``speedup_vs_fresh`` is the fresh variant's query time over the
+    cached one's — the wall-clock value of answering repeats from the cache.
+    Strategies without a caching wrapper report zeros and a blank speedup,
+    so the table doubles as a map of which strategies cache.
+    """
+    rows = []
+    for name, strategy_report in report.strategies.items():
+        fresh_name = name.removeprefix("cached-")
+        fresh = report.strategies.get(fresh_name) if fresh_name != name else None
+        speedup = (
+            fresh.total_query_time / max(strategy_report.total_query_time, 1e-12)
+            if fresh is not None
+            else 0.0
+        )
+        rows.append(
+            {
+                "strategy": name,
+                "cached": strategy_report.cached,
+                "cache_hits": strategy_report.total_cache_hits,
+                "cache_misses": strategy_report.total_cache_misses,
+                "hit_rate": strategy_report.cache_hit_rate(),
+                "invalidations": strategy_report.total_cache_invalidations,
+                "flushes": strategy_report.total_cache_flushes,
+                "query_time_s": strategy_report.total_query_time,
+                "speedup_vs_fresh": speedup,
+            }
+        )
+    return rows
+
+
+def cache_comparison_rows(
+    profile: str = "small",
+    repoll_fraction: float = 0.9,
+    n_steps: int = 6,
+    queries_per_step: int = 8,
+    selectivity: float = 0.005,
+    sparsity: float = 0.02,
+    seed: int = 0,
+) -> list[dict]:
+    """The repeated-query caching scenario: re-polling clients, sparse motion.
+
+    Runs a :func:`~repro.workloads.repeated_query_provider` workload (clients
+    re-issue ``repoll_fraction`` of their boxes each step) under a sparse
+    :class:`~repro.simulation.LocalizedPulseDeformation` with rest steps, over
+    fresh and ``caching=True``-wrapped variants of OCTOPUS and the LUR-tree.
+    ``validate_results=True`` asserts cached answers stay bit-identical to
+    fresh execution while the run measures them; returns the cache ledger
+    (:func:`cache_rows`).  The full reuse-sensitivity sweep with regression
+    floors lives in ``benchmarks/bench_cache.py``.
+    """
+    from .datasets import neuron_largest
+
+    mesh = neuron_largest(profile).copy()
+    strategies = [
+        make_strategy("octopus"),
+        build_strategy("octopus", caching=True),
+        make_strategy("lur-tree"),
+        build_strategy("lur-tree", caching=True),
+    ]
+    report = run_comparison(
+        mesh,
+        strategies,
+        make_deformation("localized-pulse", sparsity=sparsity, rest_every=2, seed=seed),
+        n_steps=n_steps,
+        query_provider=repeated_query_provider(
+            selectivity, queries_per_step, repoll_fraction, seed=seed
+        ),
+        validate_results=True,
+    )
+    return cache_rows(report)
 
 
 def traffic_rows(profile: str = "small") -> list[dict]:

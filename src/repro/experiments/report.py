@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 __all__ = [
+    "format_cache",
     "format_degradation",
     "format_maintenance",
     "format_table",
@@ -105,6 +106,35 @@ def format_maintenance(
     ratio.
     """
     return format_table(rows, columns=_MAINTENANCE_COLUMNS, title=title, precision=2)
+
+
+#: column order of the result-cache ledger table (harness.cache_rows)
+_CACHE_COLUMNS = (
+    "strategy",
+    "cached",
+    "cache_hits",
+    "cache_misses",
+    "hit_rate",
+    "invalidations",
+    "flushes",
+    "query_time_s",
+    "speedup_vs_fresh",
+)
+
+
+def format_cache(
+    rows: Sequence[Mapping[str, object]],
+    title: str | None = "Result-cache ledger (speedup_vs_fresh = uncached / cached query time)",
+) -> str:
+    """Render the per-strategy result-cache ledger table.
+
+    Takes the rows produced by
+    :func:`repro.experiments.harness.cache_rows`; uncached strategies show
+    zero traffic and a blank speedup, cached ones show their hit/miss/
+    invalidation counts and the wall-clock speedup over their fresh variant
+    when it was part of the same run.
+    """
+    return format_table(rows, columns=_CACHE_COLUMNS, title=title, precision=2)
 
 
 #: column order of the degradation ledger table (harness.degradation_rows)

@@ -1,0 +1,114 @@
+"""Strategy construction by name, with uniform wrapper composition.
+
+Every entry point that builds strategies — the CLI, the experiment harness,
+the sharded query service, the benchmarks — goes through this module, so a
+wrapped stack is always composed the same way instead of hand-nesting
+constructors at each call site.  :func:`make_strategy` instantiates a bare
+strategy from :data:`STRATEGY_FACTORIES`; :func:`build_strategy` layers the
+optional wrappers on top in the canonical order::
+
+    CachingStrategy( ResilientStrategy( <bare strategy, budget installed> ) )
+
+Cache outermost means a cache hit skips the degradation ladder entirely and
+budget enforcement only ever meters real index work; see ``docs/caching.md``
+for the full composition rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .baselines import (
+    LinearScanExecutor,
+    LURTreeExecutor,
+    QUTradeExecutor,
+    RUMTreeExecutor,
+    ThrowawayGridExecutor,
+    ThrowawayKDTreeExecutor,
+    ThrowawayOctreeExecutor,
+)
+from .cache import CachingStrategy, QueryResultCache
+from .core import OctopusConExecutor, OctopusExecutor, QueryBudget, ResilientStrategy
+from .core.executor import ExecutionStrategy
+from .errors import ExperimentError
+
+__all__ = ["STRATEGY_FACTORIES", "build_strategy", "make_strategy"]
+
+#: report name -> constructor, the paper's comparison set (Section V-A)
+STRATEGY_FACTORIES: dict[str, Callable[..., ExecutionStrategy]] = {
+    "octopus": OctopusExecutor,
+    "octopus-con": OctopusConExecutor,
+    "linear-scan": LinearScanExecutor,
+    "octree": ThrowawayOctreeExecutor,
+    "kd-tree": ThrowawayKDTreeExecutor,
+    "grid": ThrowawayGridExecutor,
+    "lur-tree": LURTreeExecutor,
+    "qu-trade": QUTradeExecutor,
+    "rum-tree": RUMTreeExecutor,
+}
+
+
+def make_strategy(name: str, **kwargs) -> ExecutionStrategy:
+    """Instantiate a bare execution strategy by its report name."""
+    try:
+        factory = STRATEGY_FACTORIES[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown strategy {name!r}; expected one of {sorted(STRATEGY_FACTORIES)}"
+        ) from exc
+    return factory(**kwargs)
+
+
+def build_strategy(
+    name: str,
+    *,
+    caching: bool | int | dict | QueryResultCache | None = None,
+    resilience: bool | str | None = None,
+    budget: QueryBudget | None = None,
+    **kwargs,
+) -> ExecutionStrategy:
+    """Build a strategy by name with the standard wrapper stack.
+
+    Parameters
+    ----------
+    name:
+        A report name from :data:`STRATEGY_FACTORIES`.
+    caching:
+        ``True`` wraps in a :class:`~repro.cache.CachingStrategy` with
+        defaults; an ``int`` sets the cache's ``max_entries``; a ``dict`` is
+        forwarded as :class:`~repro.cache.QueryResultCache` keyword arguments
+        (``max_entries``/``quantum``/``membership``); an existing
+        :class:`~repro.cache.QueryResultCache` is adopted as-is.
+    resilience:
+        ``True`` wraps in a :class:`~repro.core.ResilientStrategy`;
+        ``"paranoid"`` additionally turns on delta validation.
+    budget:
+        A :class:`~repro.core.QueryBudget` installed on the bare strategy
+        (wrappers forward it through the shared ledger).
+    kwargs:
+        Forwarded to the bare strategy's constructor (``fanout=16``, ...).
+    """
+    strategy = make_strategy(name, **kwargs)
+    if budget is not None:
+        strategy.set_query_budget(budget)
+    if resilience:
+        if resilience not in (True, "paranoid"):
+            raise ExperimentError(
+                f"resilience must be True or 'paranoid', got {resilience!r}"
+            )
+        strategy = ResilientStrategy(strategy, paranoid=resilience == "paranoid")
+    if caching is not None and caching is not False:
+        if isinstance(caching, QueryResultCache):
+            strategy = CachingStrategy(strategy, cache=caching)
+        elif isinstance(caching, dict):
+            strategy = CachingStrategy(strategy, **caching)
+        elif caching is True:
+            strategy = CachingStrategy(strategy)
+        elif isinstance(caching, int):
+            strategy = CachingStrategy(strategy, max_entries=caching)
+        else:
+            raise ExperimentError(
+                "caching must be True, an int (max_entries), a kwargs dict or "
+                f"a QueryResultCache, got {caching!r}"
+            )
+    return strategy

@@ -45,6 +45,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..cache import CacheStats, CachingStrategy
 from ..core import DeformationDelta, OctopusExecutor, QueryCounters, QueryResult, TopologyDelta
 from ..core.executor import ExecutionStrategy
 from ..core.resilience import check_query_box, check_query_boxes
@@ -53,6 +54,29 @@ from ..mesh import Box3D, PolyhedralMesh
 from .partition import MeshShard, partition_mesh
 
 __all__ = ["ShardedQueryService"]
+
+
+def _normalize_caching(caching: bool | int | dict | None) -> dict | None:
+    """Per-shard cache configuration -> CachingStrategy keyword arguments.
+
+    ``None``/``False`` disables caching; ``True`` uses the defaults; an
+    ``int`` bounds each shard cache's entries; a ``dict`` is forwarded
+    verbatim.  A shared :class:`~repro.cache.QueryResultCache` instance is
+    rejected: shard caches hold shard-*local* vertex ids, so one store
+    cannot serve several shards.
+    """
+    if caching is None or caching is False:
+        return None
+    if caching is True:
+        return {}
+    if isinstance(caching, dict):
+        return dict(caching)
+    if isinstance(caching, int):
+        return {"max_entries": caching}
+    raise SimulationError(
+        "caching must be True, an int (max_entries) or a kwargs dict; "
+        f"got {caching!r} (per-shard caches cannot share one QueryResultCache)"
+    )
 
 
 class _RoutingGrid:
@@ -170,8 +194,14 @@ class _ReadWriteLock:
                 self._cond.notify_all()
 
 
-class ShardedQueryService:
+class ShardedQueryService(ExecutionStrategy):
     """Route, fan out, merge: concurrent range queries over K mesh shards.
+
+    The service implements the full
+    :class:`~repro.core.executor.ExecutionStrategy` protocol, so the
+    simulator, the harness and the wrappers treat it like any other strategy
+    (it can itself be wrapped, budgeted or registered in a
+    :class:`~repro.simulation.MeshSimulation`).
 
     Parameters
     ----------
@@ -185,6 +215,14 @@ class ShardedQueryService:
         Worker threads in the fan-out pool (default: the shard count).
     hilbert_bits:
         Curve resolution handed to the partitioner.
+    caching:
+        Wrap every shard strategy in a
+        :class:`~repro.cache.CachingStrategy`: ``True`` with defaults, an
+        ``int`` for ``max_entries``, a ``dict`` of
+        :class:`~repro.cache.QueryResultCache` keyword arguments.  Each
+        shard owns a private cache holding *local* vertex ids, so sliced
+        deltas invalidate only the owning shard's entries and a repartition
+        flushes every cache (shard strategies are re-prepared).
     """
 
     def __init__(
@@ -193,14 +231,16 @@ class ShardedQueryService:
         n_shards: int = 4,
         max_workers: int | None = None,
         hilbert_bits: int = 10,
+        caching: bool | int | dict | None = None,
     ) -> None:
         if n_shards < 1:
             raise SimulationError(f"n_shards must be at least 1, got {n_shards}")
+        super().__init__()
         self.strategy_factory = strategy_factory or OctopusExecutor
         self.requested_shards = n_shards
         self.hilbert_bits = hilbert_bits
         self._max_workers = max_workers
-        self._mesh: PolyhedralMesh | None = None
+        self._cache_kwargs = _normalize_caching(caching)
         self._shards: list[MeshShard] = []
         self._strategies: list[ExecutionStrategy] = []
         self._shard_los = np.empty((0, 3), dtype=np.float64)
@@ -208,18 +248,24 @@ class ShardedQueryService:
         self._routing_grid = _RoutingGrid()
         self._pool: ThreadPoolExecutor | None = None
         self._lock = _ReadWriteLock()
-        self.preprocessing_time = 0.0
-        self.maintenance_time = 0.0
         #: number of full repartitions forced by restructuring events
         self.n_repartitions = 0
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def _make_shard_strategy(self) -> ExecutionStrategy:
+        strategy = self.strategy_factory()
+        if self._cache_kwargs is not None:
+            strategy = CachingStrategy(strategy, **self._cache_kwargs)
+        return strategy
+
     @property
     def name(self) -> str:
         """Strategy-style label, e.g. ``sharded-octopusx4``."""
-        inner = self._strategies[0].name if self._strategies else self.strategy_factory().name
+        inner = (
+            self._strategies[0].name if self._strategies else self._make_shard_strategy().name
+        )
         return f"sharded-{inner}x{len(self._shards) or self.requested_shards}"
 
     @property
@@ -264,7 +310,9 @@ class ShardedQueryService:
             self._mesh, self.requested_shards, bits=self.hilbert_bits
         )
         if len(self._strategies) != len(self._shards):
-            self._strategies = [self.strategy_factory() for _ in self._shards]
+            self._strategies = [self._make_shard_strategy() for _ in self._shards]
+        # re-preparing a CachingStrategy flushes its cache, so a repartition
+        # can never serve entries keyed to the previous partition's local ids
         for strategy, shard in zip(self._strategies, self._shards):
             strategy.prepare(shard.mesh)
         self._refresh_routing()
@@ -520,6 +568,35 @@ class ShardedQueryService:
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
+    def note_step(self, step: int | None) -> None:
+        """Forward the simulation step tag to every shard strategy."""
+        for strategy in self._strategies:
+            note = getattr(strategy, "note_step", None)
+            if note is not None:
+                note(step)
+
+    def cache_stats(self) -> CacheStats | None:
+        """Aggregated per-shard cache counters (``None`` when not caching)."""
+        with self._lock.read():
+            return self._collect_cache_stats("cache_stats")
+
+    def drain_cache_stats(self) -> CacheStats | None:
+        """Aggregate and reset per-shard cache counters since the last drain."""
+        with self._lock.read():
+            return self._collect_cache_stats("drain_cache_stats")
+
+    def _collect_cache_stats(self, method: str) -> CacheStats | None:
+        stats: CacheStats | None = None
+        for strategy in self._strategies:
+            collect = getattr(strategy, method, None)
+            if collect is None:
+                continue
+            shard_stats = collect()
+            if shard_stats is None:
+                continue
+            stats = shard_stats if stats is None else stats.merge(shard_stats)
+        return stats
+
     def memory_overhead_bytes(self) -> int:
         """Shard submesh copies plus every shard strategy's own overhead."""
         return int(
@@ -529,7 +606,7 @@ class ShardedQueryService:
 
     def describe(self) -> dict:
         """Service topology and accounting, for reports and logs."""
-        return {
+        record = {
             "name": self.name,
             "n_shards": self.n_shards,
             "shard_vertices": [shard.n_vertices for shard in self._shards],
@@ -538,6 +615,9 @@ class ShardedQueryService:
             "maintenance_time": self.maintenance_time,
             "n_repartitions": self.n_repartitions,
         }
+        if self._cache_kwargs is not None:
+            record["cached"] = True
+        return record
 
     def overlap_band_size(self) -> int:
         """Number of parent vertices owned by more than one shard."""

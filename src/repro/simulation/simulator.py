@@ -63,6 +63,13 @@ class StepRecord:
     #: degradation-ladder descents this strategy recorded during the step
     #: (0 for strategies without a resilience wrapper)
     degradations: int = 0
+    #: result-cache lookups answered from the cache during the step
+    #: (0 for strategies without a caching wrapper)
+    cache_hits: int = 0
+    #: result-cache lookups that fell through to the inner strategy
+    cache_misses: int = 0
+    #: cache entries dropped by this step's delta invalidation
+    cache_invalidations: int = 0
 
 
 @dataclass
@@ -108,11 +115,26 @@ class StrategyReport:
     #: the recorded fallback events, as dicts (strategy/operation/rung/
     #: reason/error/step — see :class:`~repro.core.resilience.FallbackEvent`)
     degradation_events: list[dict] = field(default_factory=list)
+    # result-cache traffic summed over all steps (all 0 for strategies
+    # without a caching wrapper — see :class:`~repro.cache.CacheStats`)
+    total_cache_hits: int = 0
+    total_cache_misses: int = 0
+    total_cache_invalidations: int = 0
+    total_cache_flushes: int = 0
+    total_cache_evictions: int = 0
+    #: whether any layer of this strategy reported cache statistics
+    #: (distinguishes "no cache" from "cache, zero traffic")
+    cached: bool = False
 
     @property
     def total_response_time(self) -> float:
         """Query execution plus maintenance (the paper's reported metric)."""
         return self.total_query_time + self.total_maintenance_time
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of result-cache lookups served from the cache (0 = none)."""
+        lookups = self.total_cache_hits + self.total_cache_misses
+        return self.total_cache_hits / lookups if lookups else 0.0
 
     def maintenance_entries_per_moved_vertex(self) -> float:
         """Index entries touched per moved vertex (1.0 ≈ cost ∝ motion;
@@ -390,6 +412,16 @@ class MeshSimulation:
             report.total_degradations += len(fallback_events)
             report.degradation_events.extend(event.as_dict() for event in fallback_events)
 
+            cache_drain = getattr(strategy, "drain_cache_stats", None)
+            cache_stats = cache_drain() if cache_drain is not None else None
+            if cache_stats is not None:
+                report.cached = True
+                report.total_cache_hits += cache_stats.hits
+                report.total_cache_misses += cache_stats.misses
+                report.total_cache_invalidations += cache_stats.invalidations
+                report.total_cache_flushes += cache_stats.flushes
+                report.total_cache_evictions += cache_stats.evictions
+
             report.total_maintenance_time += maintenance
             report.total_query_time += query_time
             report.total_results += n_results
@@ -415,5 +447,10 @@ class MeshSimulation:
                     restructured=restructured,
                     n_topology_dirty=topology.n_dirty if restructured else 0,
                     degradations=len(fallback_events),
+                    cache_hits=cache_stats.hits if cache_stats is not None else 0,
+                    cache_misses=cache_stats.misses if cache_stats is not None else 0,
+                    cache_invalidations=(
+                        cache_stats.invalidations if cache_stats is not None else 0
+                    ),
                 )
             )

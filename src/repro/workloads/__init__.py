@@ -8,6 +8,7 @@ from .microbenchmarks import (
 )
 from .queries import QueryWorkload, box_for_selectivity, measure_selectivity, random_query_workload
 from .selectivity import HistogramSelectivityEstimator
+from .sessions import repeated_query_provider, zoomed_session_provider
 
 __all__ = [
     "HistogramSelectivityEstimator",
@@ -18,5 +19,7 @@ __all__ = [
     "box_for_selectivity",
     "measure_selectivity",
     "random_query_workload",
+    "repeated_query_provider",
     "workload_for_step",
+    "zoomed_session_provider",
 ]

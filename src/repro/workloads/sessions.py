@@ -1,0 +1,128 @@
+"""Session-shaped query workloads: re-polling and zooming clients.
+
+The paper's steering scenario (Section V-C) is a scientist watching regions
+of a live simulation, which produces two workload shapes the uniform-random
+generator in :mod:`repro.workloads.queries` cannot express:
+
+* **repeated queries** — monitoring clients re-issue the *same* boxes tick
+  after tick, replacing only a fraction of them as attention shifts
+  (:func:`repeated_query_provider`);
+* **zoomed sessions** — a client drills into a feature, shrinking its query
+  box around a fixed focus point every few ticks
+  (:func:`zoomed_session_provider`).
+
+Both return a *query provider* — the ``(mesh, step) -> boxes`` callable a
+:class:`~repro.simulation.MeshSimulation` consumes — and both re-issue boxes
+as the **same objects bit-for-bit**, which is what makes them cacheable by
+the delta-invalidated result cache (:mod:`repro.cache`): a re-polled box is
+a hash lookup, not a new crawl.  ``benchmarks/bench_cache.py`` sweeps the
+re-poll fraction and dirty-region locality to map how hit rate and speedup
+respond.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..mesh import Box3D, PolyhedralMesh
+from .queries import box_for_selectivity
+
+__all__ = ["repeated_query_provider", "zoomed_session_provider"]
+
+
+def repeated_query_provider(
+    selectivity: float,
+    n_queries: int,
+    repoll_fraction: float = 0.9,
+    seed: int = 0,
+):
+    """Monitoring clients that mostly re-poll last step's boxes.
+
+    Each step keeps a random ``repoll_fraction`` of the previous step's
+    boxes — re-issued as the same :class:`~repro.mesh.Box3D` objects, so
+    their corners are bit-identical — and replaces the rest with fresh boxes
+    centred on random mesh vertices.  ``repoll_fraction=0`` degenerates to a
+    fresh random workload every step; ``1`` re-polls everything forever.
+
+    The provider is stateful (it remembers the previous step's boxes) and is
+    bound to whatever mesh it is first called with; build one per simulation.
+    """
+    if not 0.0 <= repoll_fraction <= 1.0:
+        raise WorkloadError("repoll_fraction must lie in [0, 1]")
+    if n_queries < 1:
+        raise WorkloadError("n_queries must be at least 1")
+    rng = np.random.default_rng(seed)
+    previous: list[Box3D] = []
+
+    def fresh_box(mesh: PolyhedralMesh) -> Box3D:
+        center = mesh.vertices[int(rng.integers(0, mesh.n_vertices))]
+        return box_for_selectivity(
+            mesh, center, selectivity, seed=int(rng.integers(0, 2**31))
+        )
+
+    def provider(mesh: PolyhedralMesh, step: int) -> list[Box3D]:
+        if not previous:
+            boxes = [fresh_box(mesh) for _ in range(n_queries)]
+        else:
+            kept = rng.random(n_queries) < repoll_fraction
+            boxes = [
+                previous[i] if kept[i] else fresh_box(mesh) for i in range(n_queries)
+            ]
+        previous[:] = boxes
+        return list(boxes)
+
+    return provider
+
+
+def zoomed_session_provider(
+    selectivity: float,
+    n_clients: int,
+    zoom: float = 0.5,
+    dwell: int = 3,
+    seed: int = 0,
+):
+    """Clients drilling into fixed focus points, zooming every ``dwell`` steps.
+
+    Each client picks a focus vertex at its first step and thereafter queries
+    a cube centred there whose side shrinks by ``zoom`` every ``dwell``
+    steps: within a dwell window the box is re-issued unchanged (cacheable);
+    the zoom moment changes every client's box at once (a miss burst).
+
+    Like :func:`repeated_query_provider`, the provider is stateful and bound
+    to the mesh it first sees.
+    """
+    if not 0.0 < zoom < 1.0:
+        raise WorkloadError("zoom must lie strictly between 0 and 1")
+    if dwell < 1:
+        raise WorkloadError("dwell must be at least 1")
+    if n_clients < 1:
+        raise WorkloadError("n_clients must be at least 1")
+    rng = np.random.default_rng(seed)
+    state: dict = {}
+
+    def provider(mesh: PolyhedralMesh, step: int) -> list[Box3D]:
+        if "centers" not in state:
+            center_ids = rng.integers(0, mesh.n_vertices, size=n_clients)
+            state["centers"] = [mesh.vertices[int(i)].copy() for i in center_ids]
+            state["base_sides"] = [
+                float(
+                    np.max(
+                        box_for_selectivity(mesh, center, selectivity, seed=seed + i).extents
+                    )
+                )
+                for i, center in enumerate(state["centers"])
+            ]
+            state["first_step"] = step
+            state["level"] = -1
+            state["boxes"] = []
+        level = (step - state["first_step"]) // dwell
+        if level != state["level"]:
+            state["level"] = level
+            state["boxes"] = [
+                Box3D.cube(center, max(side * zoom**level, 1e-12))
+                for center, side in zip(state["centers"], state["base_sides"])
+            ]
+        return list(state["boxes"])
+
+    return provider

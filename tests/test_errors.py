@@ -53,15 +53,15 @@ class TestHierarchy:
         assert issubclass(DegradedExecutionError, ReproError)
         assert issubclass(FaultInjectionError, ReproError)
 
-    def test_spatial_index_alias_is_deprecated(self):
-        # the pre-1.1 name still resolves to the same class, but warns
+    def test_spatial_index_alias_is_gone(self):
+        # the pre-1.1 IndexError_ alias warned for a full release cycle and
+        # is now removed outright — only SpatialIndexError remains
         import repro
         import repro.errors
 
         for module in (repro.errors, repro):
-            with pytest.warns(DeprecationWarning, match="IndexError_ is deprecated"):
-                alias = module.IndexError_
-            assert alias is SpatialIndexError
+            with pytest.raises(AttributeError, match="IndexError_"):
+                module.IndexError_  # noqa: B018
             assert "IndexError_" not in module.__all__
             assert "SpatialIndexError" in module.__all__
         with pytest.raises(SpatialIndexError):
