@@ -8,6 +8,7 @@ The public API is organised in layers:
 * :mod:`repro.baselines` — linear scan and index-based baselines;
 * :mod:`repro.core` — OCTOPUS, OCTOPUS-CON, the surface index, the cost model,
   and the strategy-wrapper composition surface;
+* :mod:`repro.kernels` — swappable compute backends for the batched hot loops;
 * :mod:`repro.cache` — the delta-invalidated query-result cache;
 * :mod:`repro.service` — mesh partitioning and the sharded query service;
 * :mod:`repro.workloads` — query workloads and selectivity estimation;
@@ -34,6 +35,7 @@ from . import (
     core,
     experiments,
     generators,
+    kernels,
     mesh,
     service,
     simulation,
@@ -96,6 +98,7 @@ __all__ = [
     "core",
     "experiments",
     "generators",
+    "kernels",
     "mesh",
     "service",
     "simulation",

@@ -141,7 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--profile",
         default="small",
-        choices=["tiny", "small", "medium"],
+        choices=["tiny", "small", "medium", "large"],
         help="dataset size profile (default: small)",
     )
     parser.add_argument(
@@ -155,6 +155,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="issue queries one by one instead of through the batched "
         "query_many path (sets REPRO_SEQUENTIAL_QUERIES for the run)",
+    )
+    parser.add_argument(
+        "--layout",
+        default=None,
+        choices=["native", "hilbert", "random"],
+        help="vertex layout pass applied before strategies prepare "
+        "(sets REPRO_LAYOUT for the run; default: native)",
+    )
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        metavar="SPEC",
+        help="kernel backend spec for the batched hot loops, e.g. 'numba' or "
+        "'numpy:float32' (sets REPRO_KERNEL_BACKEND for the run; numba "
+        "falls back to numpy when not installed)",
     )
     return parser
 
@@ -180,17 +195,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    previous_flag = os.environ.get("REPRO_SEQUENTIAL_QUERIES")
+    # Flags travel to the harness via environment variables (restored after
+    # the run), so every construction path honours them without threading.
+    overrides: dict[str, str] = {}
     if args.no_batch:
-        os.environ["REPRO_SEQUENTIAL_QUERIES"] = "1"
+        overrides["REPRO_SEQUENTIAL_QUERIES"] = "1"
+    if args.layout is not None:
+        overrides["REPRO_LAYOUT"] = args.layout
+    if args.kernels is not None:
+        overrides["REPRO_KERNEL_BACKEND"] = args.kernels
+    previous = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
     try:
         tables = [run_experiment(name, args.profile) for name in names]
     finally:
-        if args.no_batch:
-            if previous_flag is None:
-                os.environ.pop("REPRO_SEQUENTIAL_QUERIES", None)
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
             else:
-                os.environ["REPRO_SEQUENTIAL_QUERIES"] = previous_flag
+                os.environ[key] = value
     output = "\n\n".join(tables)
     print(output)
     if args.output is not None:

@@ -39,14 +39,13 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from ..kernels import KernelBackend, get_backend
 from ..mesh import (
     Box3D,
     PolyhedralMesh,
-    box_batch_chunk,
     boxes_to_arrays,
     csr_gather,
     points_in_box,
-    points_in_boxes,
 )
 from .result import QueryCounters
 from .scratch import CrawlScratch
@@ -277,19 +276,6 @@ def _or_duplicates(ids: np.ndarray, bits: np.ndarray) -> tuple[np.ndarray, np.nd
     return sorted_ids[starts], np.bitwise_or.reduceat(sorted_bits, starts, axis=0)
 
 
-def _inside_per_query(
-    positions: np.ndarray, candidates: np.ndarray, los: np.ndarray, his: np.ndarray
-) -> np.ndarray:
-    """``(n_queries, n_candidates)`` membership of candidate positions in each box."""
-    points = positions[candidates]
-    out = np.empty((los.shape[0], candidates.size), dtype=bool)
-    chunk = box_batch_chunk(candidates.size)
-    for lo_index in range(0, los.shape[0], chunk):
-        hi_index = lo_index + chunk
-        out[lo_index:hi_index] = points_in_boxes(points, los[lo_index:hi_index], his[lo_index:hi_index])
-    return out
-
-
 class _OwnershipBits:
     """Multi-word query-ownership bitsets for one fused batch.
 
@@ -355,6 +341,7 @@ def _crawl_fused(
     scratch: CrawlScratch,
     n_vertices: int,
     budgets: "Sequence[BudgetTracker | None] | None" = None,
+    kernels: KernelBackend | None = None,
 ) -> tuple[list[CrawlOutcome], int, int, int]:
     """Fused shared-frontier BFS over the whole batch (any number of queries).
 
@@ -363,7 +350,13 @@ def _crawl_fused(
     level-synchronised: level ``k`` of every query runs in the same iteration,
     so each query's stamp/visit/expand sequence is exactly the one its
     independent crawl would have executed.
+
+    ``kernels`` selects the stamp-and-test implementation (see
+    :mod:`repro.kernels`); the default is the NumPy reference backend, and
+    every float64 backend is bit-identical to it.
     """
+    if kernels is None:
+        kernels = get_backend("numpy")
     n_queries = len(start_lists)
     bits = _OwnershipBits(n_queries)
     zero = np.uint64(0)
@@ -416,49 +409,33 @@ def _crawl_fused(
         """Stamp newly reached (vertex, query) pairs, count them, test positions.
 
         Returns the next union frontier (vertices inside at least one owning
-        box) and its ownership rows.  The per-query attribution and the
-        position tests run in candidate-axis chunks so the expanded
+        box) and its ownership rows.  The loop itself lives in the kernel
+        backend (:meth:`repro.kernels.KernelBackend.crawl_stamp_and_test`);
+        the NumPy reference runs the per-query attribution and the position
+        tests in candidate-axis chunks so the expanded
         ``(candidates, n_queries)`` boolean transients stay under
-        ``_ATTRIBUTION_BUDGET`` however large the batch is; the accumulated
-        counters and the resulting frontier are identical to one unchunked
-        pass.
+        ``_ATTRIBUTION_BUDGET`` however large the batch is, while compiled
+        backends fuse the whole level into one pass — either way the
+        accumulated counters and the resulting frontier are identical.
         """
-        nonlocal unique_visited, visited_per_query
-        previous = np.where(
-            (stamps[candidates] == epoch)[:, None], word_columns[candidates], zero
+        nonlocal unique_visited
+        frontier, frontier_bits, n_fresh = kernels.crawl_stamp_and_test(
+            candidates,
+            reach_bits,
+            stamps,
+            word_columns,
+            epoch,
+            positions,
+            los,
+            his,
+            bits,
+            visited_per_query,
+            _attribution_chunk(n_queries),
         )
-        new_bits = reach_bits & ~previous
-        fresh = (new_bits != zero).any(axis=1)
-        candidates = candidates[fresh]
-        if candidates.size == 0:
-            return candidates, new_bits[fresh]
-        new_bits = new_bits[fresh]
-        word_columns[candidates] = previous[fresh] | new_bits
-        stamps[candidates] = epoch
-        unique_visited += int(candidates.size)
-        chunk = _attribution_chunk(n_queries)
-        frontier_pieces: list[np.ndarray] = []
-        bit_pieces: list[np.ndarray] = []
-        for lo in range(0, candidates.size, chunk):
-            hi = lo + chunk
-            chunk_candidates = candidates[lo:hi]
-            owned = bits.owned_matrix(new_bits[lo:hi])
-            visited_per_query += owned.sum(axis=0)
-            inside = _inside_per_query(positions, chunk_candidates, los, his)
-            in_frontier = owned & inside.T
-            chunk_bits = bits.pack(in_frontier)
-            keep = (chunk_bits != zero).any(axis=1)
-            if keep.any():
-                frontier_pieces.append(chunk_candidates[keep])
-                bit_pieces.append(chunk_bits[keep])
-        if frontier_pieces:
-            frontier = np.concatenate(frontier_pieces)
-            frontier_bits = np.concatenate(bit_pieces)
+        unique_visited += n_fresh
+        if frontier.size:
             level_ids.append(frontier)
             level_bits.append(frontier_bits)
-        else:
-            frontier = np.empty(0, dtype=np.int64)
-            frontier_bits = np.empty((0, bits.n_words), dtype=np.uint64)
         return frontier, frontier_bits
 
     # Level 0: each query's deduplicated start vertices, merged into one
@@ -526,6 +503,7 @@ def crawl_many(
     counters_list: Sequence[QueryCounters | None] | None = None,
     scratch: CrawlScratch | None = None,
     budgets: "Sequence[BudgetTracker | None] | None" = None,
+    kernels: KernelBackend | None = None,
 ) -> BatchCrawlOutcome:
     """Fused breadth-first crawl of a whole batch of range queries.
 
@@ -557,6 +535,11 @@ def crawl_many(
         records (entries may be ``None``); each query truncates (or raises)
         at exactly the BFS level its sequential :func:`crawl` would, while
         the remaining queries keep crawling.
+    kernels:
+        Optional :class:`repro.kernels.KernelBackend` (or ``None`` for the
+        NumPy reference) running the stamp-and-test hot loop; float64
+        backends are bit-identical, the float32 mode trades boundary
+        exactness for bandwidth (see ``docs/performance.md``).
     """
     box_list = list(boxes)
     if len(start_lists) != len(box_list):
@@ -583,7 +566,8 @@ def crawl_many(
 
     los, his = boxes_to_arrays(box_list)
     outcomes, unique_visited, unique_edges, n_words = _crawl_fused(
-        positions, indptr, indices, los, his, start_lists, scratch, mesh.n_vertices, budgets
+        positions, indptr, indices, los, his, start_lists, scratch, mesh.n_vertices, budgets,
+        kernels=kernels,
     )
     batch.outcomes.extend(outcomes)
     batch.n_unique_vertices_visited += unique_visited

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import QueryError
+from ..kernels import KernelBackend, get_backend
 from ..mesh import Box3D
 from .crawler import BatchCrawlOutcome, crawl, crawl_many
 from .delta import DeformationDelta, TopologyDelta
@@ -59,6 +60,12 @@ class OctopusConExecutor(ExecutionStrategy):
         bounds (positions drifting outside clamp to border cells), so the
         incremental path never has to re-derive bounds; freshness only
         shortens the directed walks, correctness never depends on it.
+    kernels:
+        Kernel backend for the batched hot loops — a
+        :class:`~repro.kernels.KernelBackend`, a spec string such as
+        ``"numba"`` or ``"numpy:float32"``, or ``None`` to consult the
+        ``REPRO_KERNEL_BACKEND`` environment variable (default NumPy).
+        Sequential :meth:`query` calls always use the NumPy float64 path.
 
     Notes
     -----
@@ -71,7 +78,12 @@ class OctopusConExecutor(ExecutionStrategy):
 
     GRID_MAINTENANCE_MODES = ("stale", "incremental", "rebuild")
 
-    def __init__(self, grid_resolution: int = 10, grid_maintenance: str = "stale") -> None:
+    def __init__(
+        self,
+        grid_resolution: int = 10,
+        grid_maintenance: str = "stale",
+        kernels: KernelBackend | str | None = None,
+    ) -> None:
         super().__init__()
         if grid_resolution < 1:
             raise QueryError("grid_resolution must be at least 1")
@@ -82,6 +94,7 @@ class OctopusConExecutor(ExecutionStrategy):
             )
         self.grid_resolution = grid_resolution
         self.grid_maintenance = grid_maintenance
+        self.kernels = get_backend(kernels)
         self._grid: UniformGrid | None = None
         #: per-thread crawl arenas (epoch-stamped visited + buffers); one
         #: CrawlScratch per thread keeps concurrent queries off each other's
@@ -329,7 +342,14 @@ class OctopusConExecutor(ExecutionStrategy):
         if self.query_budget is not None:
             budgets = [self._start_budget(query_index=i) for i in range(len(box_list))]
         walk_times, walk_starts, walk_batch = fused_walk_phase(
-            mesh, box_list, walk_indices, start_ids, counters_list, self.scratch, budgets
+            mesh,
+            box_list,
+            walk_indices,
+            start_ids,
+            counters_list,
+            self.scratch,
+            budgets,
+            kernels=self.kernels,
         )
         crawl_starts = [
             walk_starts.get(index, np.empty(0, dtype=np.int64))
@@ -342,7 +362,13 @@ class OctopusConExecutor(ExecutionStrategy):
 
         crawl_start = time.perf_counter()
         batch = crawl_many(
-            mesh, box_list, crawl_starts, counters_list, scratch=self.scratch, budgets=budgets
+            mesh,
+            box_list,
+            crawl_starts,
+            counters_list,
+            scratch=self.scratch,
+            budgets=budgets,
+            kernels=self.kernels,
         )
         crawl_time = (time.perf_counter() - crawl_start) / len(box_list)
         if walk_batch is not None:

@@ -7,11 +7,13 @@ benchmarks agree on them, and caches the generated meshes within a process
 (generation is deterministic, so results are reproducible across processes
 too).
 
-Three size profiles are provided:
+Four size profiles are provided:
 
 * ``tiny``   — for unit tests and smoke runs (seconds);
 * ``small``  — the default benchmark profile (a few minutes for the full suite);
-* ``medium`` — closer to the paper's relative spreads, for longer runs.
+* ``medium`` — closer to the paper's relative spreads, for longer runs;
+* ``large``  — the raw-speed tier, topping out above one million vertices
+  (mesh generation alone takes minutes; meant for the scale benchmarks).
 """
 
 from __future__ import annotations
@@ -51,6 +53,15 @@ PROFILES: dict[str, dict] = {
     "medium": {
         "neuron_resolutions": (20, 28, 38, 52, 70),
         "earthquake_resolutions": (14, 26),
+        "animation_scale": 1.0,
+    },
+    # The raw-speed tier: the top resolution carves a neuron mesh of
+    # ~1.12M vertices (≥ the paper's production scale in vertex count).
+    # Generation alone takes minutes — reserve this profile for the
+    # scale benchmarks, not the figure sweeps.
+    "large": {
+        "neuron_resolutions": (42, 70, 96, 128, 180),
+        "earthquake_resolutions": (18, 34),
         "animation_scale": 1.0,
     },
 }

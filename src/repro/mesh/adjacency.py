@@ -123,7 +123,10 @@ class AdjacencyList:
         else:
             src = np.empty(0, dtype=np.int64)
             dst = np.empty(0, dtype=np.int64)
-        order = np.argsort(src, kind="stable")
+        # Canonical CSR form: rows sorted ascending.  ``relabeled`` emits the
+        # same form, so a permuted cache is indistinguishable from a rebuild
+        # (identical downstream tie-breaking either way).
+        order = np.lexsort((dst, src))
         src = src[order]
         dst = dst[order]
         counts = np.bincount(src, minlength=n_vertices)

@@ -21,6 +21,7 @@ EXPECTED_EXPORTS = {
     "core",
     "experiments",
     "generators",
+    "kernels",
     "mesh",
     "service",
     "simulation",
@@ -88,6 +89,7 @@ LAYER_GROUPS = [
         "core",
         "experiments",
         "generators",
+        "kernels",
         "mesh",
         "service",
         "simulation",
