@@ -10,6 +10,7 @@ The public API is organised in layers:
   and the strategy-wrapper composition surface;
 * :mod:`repro.kernels` — swappable compute backends for the batched hot loops;
 * :mod:`repro.cache` — the delta-invalidated query-result cache;
+* :mod:`repro.standing` — standing continuous queries over the delta stream;
 * :mod:`repro.service` — mesh partitioning and the sharded query service;
 * :mod:`repro.workloads` — query workloads and selectivity estimation;
 * :mod:`repro.experiments` — per-figure experiment drivers and reporting.
@@ -39,6 +40,7 @@ from . import (
     mesh,
     service,
     simulation,
+    standing,
     workloads,
 )
 from .baselines import (
@@ -83,6 +85,12 @@ from .errors import (
 from .factory import build_strategy, make_strategy
 from .mesh import Box3D, HexahedralMesh, PolyhedralMesh, TetrahedralMesh, TriangleMesh
 from .service import MeshShard, ShardedQueryService, partition_mesh
+from .standing import (
+    MembershipUpdate,
+    StandingQueryRegistry,
+    StandingStats,
+    StandingStrategy,
+)
 
 __version__ = "1.0.0"
 
@@ -102,6 +110,7 @@ __all__ = [
     "mesh",
     "service",
     "simulation",
+    "standing",
     "workloads",
     # mesh substrate
     "Box3D",
@@ -129,9 +138,13 @@ __all__ = [
     # composition surface: wrappers, budgets, factory
     "CacheStats",
     "CachingStrategy",
+    "MembershipUpdate",
     "QueryBudget",
     "QueryResultCache",
     "ResilientStrategy",
+    "StandingQueryRegistry",
+    "StandingStats",
+    "StandingStrategy",
     "StrategyWrapper",
     "build_strategy",
     "make_strategy",

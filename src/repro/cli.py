@@ -30,6 +30,7 @@ from .experiments.harness import (
     restructuring_maintenance_rows,
     sparse_maintenance_rows,
     sparsity_sweep_rows,
+    standing_steering_rows,
     traffic_rows,
 )
 
@@ -124,6 +125,10 @@ EXPERIMENTS: dict[str, tuple[Callable[[str], list[dict]], str]] = {
     "cache": (
         lambda profile: cache_comparison_rows(profile),
         "Cache — delta-invalidated result cache on a repeated-query workload",
+    ),
+    "standing": (
+        lambda profile: standing_steering_rows(profile),
+        "Standing — incremental subscriptions on a steering workload",
     ),
 }
 

@@ -253,9 +253,10 @@ class StrategyWrapper(ExecutionStrategy):
       ``ResilientStrategy(CachingStrategy(octopus)).maintenance_time`` reads
       the same number at every level;
     * **event plumbing** — :meth:`note_step`,
-      :meth:`drain_degradation_events` and :meth:`drain_cache_stats` forward
-      duck-typed, so a drain hook defined anywhere in the stack is reachable
-      from the outermost wrapper (the simulator only talks to that one).
+      :meth:`drain_degradation_events`, :meth:`drain_cache_stats` and
+      :meth:`drain_standing_stats` forward duck-typed, so a drain hook
+      defined anywhere in the stack is reachable from the outermost wrapper
+      (the simulator only talks to that one).
 
     Wrapping an already-prepared strategy preserves its accounting and
     budget: the constructor snapshots them around ``super().__init__()``
@@ -350,6 +351,16 @@ class StrategyWrapper(ExecutionStrategy):
         report code can distinguish "no cache" from "cache, zero traffic".
         """
         drain = getattr(self.inner, "drain_cache_stats", None)
+        return drain() if drain is not None else None
+
+    def drain_standing_stats(self):
+        """Return and reset standing-query statistics recorded in the stack.
+
+        ``None`` when no layer of the stack maintains a standing-query
+        registry, so report code can distinguish "no subscriptions possible"
+        from "registry, zero traffic".
+        """
+        drain = getattr(self.inner, "drain_standing_stats", None)
         return drain() if drain is not None else None
 
     # -- lifecycle forwarding --------------------------------------------

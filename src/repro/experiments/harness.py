@@ -48,6 +48,8 @@ __all__ = [
     "fault_injection_rows",
     "cache_rows",
     "cache_comparison_rows",
+    "standing_rows",
+    "standing_steering_rows",
     "fixed_workload_provider",
     "per_step_workload_provider",
 ]
@@ -531,6 +533,82 @@ def cache_comparison_rows(
         validate_results=True,
     )
     return cache_rows(report)
+
+
+def standing_rows(report: SimulationReport) -> list[dict]:
+    """Per-strategy standing-subscription ledger: updates, skips, re-crawls.
+
+    For every strategy the simulator's drained
+    :class:`~repro.standing.StandingStats` totals are reported alongside the
+    skip rate (fraction of per-tick subscription evaluations settled by the
+    O(1) dirty-AABB test alone).  Strategies without a standing wrapper
+    report zeros with ``standing=False``, so the table doubles as a map of
+    which variants carry subscriptions.
+    """
+    rows = []
+    for name, strategy_report in report.strategies.items():
+        rows.append(
+            {
+                "strategy": name,
+                "standing": strategy_report.standing,
+                "subscriptions": strategy_report.standing_subscriptions,
+                "updates": strategy_report.total_standing_updates,
+                "entered": strategy_report.total_standing_entered,
+                "exited": strategy_report.total_standing_exited,
+                "skips": strategy_report.total_standing_skips,
+                "skip_rate": strategy_report.standing_skip_rate(),
+                "recrawls": strategy_report.total_standing_recrawls,
+                "moved_tests": strategy_report.total_standing_moved_tests,
+            }
+        )
+    return rows
+
+
+def standing_steering_rows(
+    profile: str = "small",
+    n_subscriptions: int = 12,
+    n_steps: int = 8,
+    selectivity: float = 0.005,
+    sparsity: float = 0.02,
+    seed: int = 0,
+) -> list[dict]:
+    """The standing-query steering scenario: watched regions, sparse motion.
+
+    Subscribes a :func:`~repro.workloads.subscription_steering` schedule's
+    watch boxes on standing-wrapped variants of OCTOPUS and the LUR-tree
+    (plain variants run alongside as the no-registry baseline), deforms with
+    a sparse :class:`~repro.simulation.LocalizedPulseDeformation`, and
+    returns the standing ledger (:func:`standing_rows`).  The incremental
+    vs naive re-query comparison with regression floors lives in
+    ``benchmarks/bench_standing.py``.
+    """
+    from ..workloads import subscription_steering
+    from .datasets import neuron_largest
+
+    mesh = neuron_largest(profile).copy()
+    schedule = subscription_steering(
+        mesh,
+        n_subscriptions=n_subscriptions,
+        n_steps=n_steps,
+        selectivity=selectivity,
+        seed=seed,
+    )
+    boxes = list(schedule.initial_boxes)
+    strategies = [
+        make_strategy("octopus"),
+        build_strategy("octopus", standing=boxes),
+        make_strategy("lur-tree"),
+        build_strategy("lur-tree", standing=boxes),
+    ]
+    report = run_comparison(
+        mesh,
+        strategies,
+        make_deformation("localized-pulse", sparsity=sparsity, rest_every=2, seed=seed),
+        n_steps=n_steps,
+        query_provider=per_step_workload_provider(selectivity, 2, seed=seed),
+        validate_results=True,
+    )
+    return standing_rows(report)
 
 
 def traffic_rows(profile: str = "small") -> list[dict]:

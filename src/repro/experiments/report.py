@@ -14,6 +14,7 @@ __all__ = [
     "format_cache",
     "format_degradation",
     "format_maintenance",
+    "format_standing",
     "format_table",
     "format_value",
     "format_work_sharing",
@@ -135,6 +136,36 @@ def format_cache(
     when it was part of the same run.
     """
     return format_table(rows, columns=_CACHE_COLUMNS, title=title, precision=2)
+
+
+#: column order of the standing-subscription ledger table (harness.standing_rows)
+_STANDING_COLUMNS = (
+    "strategy",
+    "standing",
+    "subscriptions",
+    "updates",
+    "entered",
+    "exited",
+    "skips",
+    "skip_rate",
+    "recrawls",
+    "moved_tests",
+)
+
+
+def format_standing(
+    rows: Sequence[Mapping[str, object]],
+    title: str | None = "Standing-subscription ledger (skip_rate = O(1) dismissals / evaluations)",
+) -> str:
+    """Render the per-strategy standing-subscription ledger table.
+
+    Takes the rows produced by
+    :func:`repro.experiments.harness.standing_rows`; strategies without a
+    standing wrapper show zero traffic with ``standing=False``, wrapped ones
+    show their update/skip/re-crawl counts and the fraction of per-tick
+    evaluations the O(1) dirty-AABB test settled outright.
+    """
+    return format_table(rows, columns=_STANDING_COLUMNS, title=title, precision=2)
 
 
 #: column order of the degradation ledger table (harness.degradation_rows)

@@ -7,16 +7,18 @@ constructors at each call site.  :func:`make_strategy` instantiates a bare
 strategy from :data:`STRATEGY_FACTORIES`; :func:`build_strategy` layers the
 optional wrappers on top in the canonical order::
 
-    CachingStrategy( ResilientStrategy( <bare strategy, budget installed> ) )
+    StandingStrategy( CachingStrategy( ResilientStrategy( <bare strategy, budget installed> ) ) )
 
-Cache outermost means a cache hit skips the degradation ladder entirely and
-budget enforcement only ever meters real index work; see ``docs/caching.md``
-for the full composition rationale.
+Cache outermost of the ladder means a cache hit skips the degradation ladder
+entirely and budget enforcement only ever meters real index work (see
+``docs/caching.md``); standing outermost of everything means the registry's
+narrowed re-queries flow through the cache and share its invalidation stream
+(see ``docs/standing.md``).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from .baselines import (
     LinearScanExecutor,
@@ -31,6 +33,7 @@ from .cache import CachingStrategy, QueryResultCache
 from .core import OctopusConExecutor, OctopusExecutor, QueryBudget, ResilientStrategy
 from .core.executor import ExecutionStrategy
 from .errors import ExperimentError
+from .standing import StandingQueryRegistry, StandingStrategy
 
 __all__ = ["KERNEL_AWARE_STRATEGIES", "STRATEGY_FACTORIES", "build_strategy", "make_strategy"]
 
@@ -70,6 +73,7 @@ def build_strategy(
     caching: bool | int | dict | QueryResultCache | None = None,
     resilience: bool | str | None = None,
     budget: QueryBudget | None = None,
+    standing: bool | Sequence | StandingQueryRegistry | None = None,
     kernels=None,
     **kwargs,
 ) -> ExecutionStrategy:
@@ -91,6 +95,15 @@ def build_strategy(
     budget:
         A :class:`~repro.core.QueryBudget` installed on the bare strategy
         (wrappers forward it through the shared ledger).
+    standing:
+        ``True`` wraps the finished stack in a
+        :class:`~repro.standing.StandingStrategy` with an empty registry; a
+        sequence of :class:`~repro.mesh.Box3D` subscribes each box up front
+        (initial memberships evaluated at ``prepare``); an existing
+        :class:`~repro.standing.StandingQueryRegistry` is adopted as-is.
+        Standing goes outermost so the registry's narrowed re-queries flow
+        through the cache below; paranoid resilience propagates (the wrapper
+        then validates deltas before trusting them incrementally).
     kernels:
         Kernel backend for the batched hot loops — a
         :class:`~repro.kernels.KernelBackend`, a spec string (``"numba"``,
@@ -126,5 +139,18 @@ def build_strategy(
             raise ExperimentError(
                 "caching must be True, an int (max_entries), a kwargs dict or "
                 f"a QueryResultCache, got {caching!r}"
+            )
+    if standing is not None and standing is not False:
+        paranoid = resilience == "paranoid"
+        if isinstance(standing, StandingQueryRegistry):
+            strategy = StandingStrategy(strategy, registry=standing, paranoid=paranoid)
+        elif standing is True:
+            strategy = StandingStrategy(strategy, paranoid=paranoid)
+        elif isinstance(standing, Sequence):
+            strategy = StandingStrategy(strategy, boxes=standing, paranoid=paranoid)
+        else:
+            raise ExperimentError(
+                "standing must be True, a sequence of Box3D subscriptions or "
+                f"a StandingQueryRegistry, got {standing!r}"
             )
     return strategy

@@ -51,6 +51,7 @@ from ..core.executor import ExecutionStrategy
 from ..core.resilience import check_query_box, check_query_boxes
 from ..errors import SimulationError
 from ..mesh import Box3D, PolyhedralMesh
+from ..standing import MembershipUpdate, StandingQueryRegistry, StandingStats
 from .partition import MeshShard, partition_mesh
 
 __all__ = ["ShardedQueryService"]
@@ -250,6 +251,11 @@ class ShardedQueryService(ExecutionStrategy):
         self._lock = _ReadWriteLock()
         #: number of full repartitions forced by restructuring events
         self.n_repartitions = 0
+        #: standing subscriptions over the whole service (global vertex ids);
+        #: its re-queries route per shard and dedup the overlap band in _merge
+        self._standing = StandingQueryRegistry()
+        self._standing_used = False
+        self._step: int | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -434,17 +440,37 @@ class ShardedQueryService(ExecutionStrategy):
         """Answer one range query (safe to call from any thread)."""
         check_query_box(box)
         with self._lock.read():
-            routed = self.route(box)
-            if routed.size <= 1 or self._pool is None:
-                pieces = [
-                    (self._shards[k], self._strategies[k].query(box)) for k in routed
-                ]
-            else:
-                futures = [
-                    (k, self._pool.submit(self._strategies[k].query, box)) for k in routed
-                ]
-                pieces = [(self._shards[k], future.result()) for k, future in futures]
-            return self._merge(pieces)
+            return self._query_unlocked(box)
+
+    def _query_unlocked(self, box: Box3D) -> QueryResult:
+        """Route/fan-out/merge with the service lock already held.
+
+        Shared by :meth:`query` (reader side) and the standing-registry
+        evaluation inside the maintenance hooks (writer side — the
+        readers-writer lock is not reentrant, so the registry's re-queries
+        must not reacquire it).
+        """
+        routed = self.route(box)
+        if routed.size <= 1 or self._pool is None:
+            pieces = [
+                (self._shards[k], self._strategies[k].query(box)) for k in routed
+            ]
+        else:
+            futures = [
+                (k, self._pool.submit(self._strategies[k].query, box)) for k in routed
+            ]
+            pieces = [(self._shards[k], future.result()) for k, future in futures]
+        return self._merge(pieces)
+
+    def _standing_query_ids(self, box: Box3D) -> np.ndarray:
+        """The registry's query_fn: per-shard slicing + overlap-band dedup.
+
+        A subscription's re-query fans out only to the shards the routing
+        matrix says can hold members (the per-shard slice of the standing
+        work); :meth:`_merge` unions the per-shard answers back to global
+        ids, deduplicating the overlap band exactly as one-shot queries do.
+        """
+        return self._query_unlocked(box).vertex_ids
 
     def query_many(self, boxes: Sequence[Box3D]) -> list[QueryResult]:
         """Answer a batch: route, fan out one fused sub-batch per shard, merge.
@@ -491,6 +517,44 @@ class ShardedQueryService(ExecutionStrategy):
             return [self._merge(pieces) for pieces in pieces_per_box]
 
     # ------------------------------------------------------------------
+    # standing subscriptions
+    # ------------------------------------------------------------------
+    def subscribe(self, box: Box3D) -> int:
+        """Register a standing query over the whole service; returns its id.
+
+        The initial membership is evaluated immediately (one routed
+        fan-out), queued as an ``"initial"``
+        :class:`~repro.standing.MembershipUpdate`, and kept current by every
+        subsequent maintenance tick: deformation ticks update it from the
+        parent delta's moved set with pure point tests, restructuring ticks
+        re-query only the subscriptions whose box intersects the dirty AABB
+        — each re-query fanning out only to its routed shards, with the
+        overlap band deduplicated by the merge.  Requires :meth:`prepare`.
+        """
+        if not self._shards:
+            raise SimulationError("sharded service: subscribe() before prepare()")
+        check_query_box(box)
+        self._standing_used = True
+        with self._lock.read():
+            return self._standing.subscribe(box, self._standing_query_ids, step=self._step)
+
+    def unsubscribe(self, sid: int) -> None:
+        """Drop a standing subscription; queued updates stay drainable."""
+        self._standing.unsubscribe(sid)
+
+    def drain_membership_updates(self) -> list[MembershipUpdate]:
+        """Return and clear the queued per-tick membership updates."""
+        return self._standing.drain_updates()
+
+    def standing_stats(self) -> StandingStats | None:
+        """Snapshot of the registry counters (``None`` before any subscribe)."""
+        return self._standing.stats() if self._standing_used else None
+
+    def drain_standing_stats(self) -> StandingStats | None:
+        """Registry counters since the last drain (``None`` before any subscribe)."""
+        return self._standing.drain_stats() if self._standing_used else None
+
+    # ------------------------------------------------------------------
     # maintenance (the writer side)
     # ------------------------------------------------------------------
     def on_step(self, delta: DeformationDelta) -> float:
@@ -511,6 +575,9 @@ class ShardedQueryService(ExecutionStrategy):
                 strategy.on_step(local)
                 shard.refresh_bounds()
             self._refresh_routing()
+            # the standing tick consumes the *parent* delta (global ids);
+            # the rare re-query it needs routes per shard via the unlocked path
+            self._standing.tick_deformation(delta, self._standing_query_ids, step=self._step)
         elapsed = time.perf_counter() - start
         self.maintenance_time += elapsed
         return elapsed
@@ -561,6 +628,9 @@ class ShardedQueryService(ExecutionStrategy):
             else:
                 self._build_shards()
                 self.n_repartitions += 1
+            # after the repartition the shard strategies answer against the
+            # restructured mesh, so the narrowed re-queries see fresh state
+            self._standing.tick_topology(delta, self._standing_query_ids, step=self._step)
         elapsed = time.perf_counter() - start
         self.maintenance_time += elapsed
         return elapsed
@@ -570,6 +640,7 @@ class ShardedQueryService(ExecutionStrategy):
     # ------------------------------------------------------------------
     def note_step(self, step: int | None) -> None:
         """Forward the simulation step tag to every shard strategy."""
+        self._step = step
         for strategy in self._strategies:
             note = getattr(strategy, "note_step", None)
             if note is not None:
@@ -602,6 +673,7 @@ class ShardedQueryService(ExecutionStrategy):
         return int(
             sum(shard.mesh.memory_bytes() for shard in self._shards)
             + sum(strategy.memory_overhead_bytes() for strategy in self._strategies)
+            + self._standing.memory_bytes()
         )
 
     def describe(self) -> dict:
@@ -617,6 +689,8 @@ class ShardedQueryService(ExecutionStrategy):
         }
         if self._cache_kwargs is not None:
             record["cached"] = True
+        if self._standing_used:
+            record["standing"] = self._standing.describe()
         return record
 
     def overlap_band_size(self) -> int:

@@ -70,6 +70,13 @@ class StepRecord:
     cache_misses: int = 0
     #: cache entries dropped by this step's delta invalidation
     cache_invalidations: int = 0
+    #: standing membership updates emitted during the step (0 without a
+    #: standing wrapper — see :class:`~repro.standing.StandingStats`)
+    standing_updates: int = 0
+    #: subscriptions dismissed by the O(1) dirty-AABB overlap test
+    standing_skips: int = 0
+    #: narrowed re-queries the standing registry issued during the step
+    standing_recrawls: int = 0
 
 
 @dataclass
@@ -125,6 +132,21 @@ class StrategyReport:
     #: whether any layer of this strategy reported cache statistics
     #: (distinguishes "no cache" from "cache, zero traffic")
     cached: bool = False
+    # standing-subscription traffic summed over all steps (all 0 for
+    # strategies without a standing registry — see
+    # :class:`~repro.standing.StandingStats`)
+    total_standing_updates: int = 0
+    total_standing_entered: int = 0
+    total_standing_exited: int = 0
+    total_standing_skips: int = 0
+    total_standing_touched: int = 0
+    total_standing_recrawls: int = 0
+    total_standing_moved_tests: int = 0
+    #: live subscriptions at the last drained step (a gauge)
+    standing_subscriptions: int = 0
+    #: whether any layer of this strategy reported standing statistics
+    #: (distinguishes "no registry" from "registry, zero traffic")
+    standing: bool = False
     #: vertex layout the simulation ran under ("native", "hilbert", "random")
     layout: str = "native"
     #: mean |id gap| across mesh edges / n_vertices under that layout
@@ -140,6 +162,12 @@ class StrategyReport:
         """Fraction of result-cache lookups served from the cache (0 = none)."""
         lookups = self.total_cache_hits + self.total_cache_misses
         return self.total_cache_hits / lookups if lookups else 0.0
+
+    def standing_skip_rate(self) -> float:
+        """Fraction of per-tick subscription evaluations settled by the O(1)
+        dirty-AABB test alone (1.0 = never any targeted work)."""
+        total = self.total_standing_skips + self.total_standing_touched
+        return self.total_standing_skips / total if total else 0.0
 
     def maintenance_entries_per_moved_vertex(self) -> float:
         """Index entries touched per moved vertex (1.0 ≈ cost ∝ motion;
@@ -447,6 +475,19 @@ class MeshSimulation:
                 report.total_cache_flushes += cache_stats.flushes
                 report.total_cache_evictions += cache_stats.evictions
 
+            standing_drain = getattr(strategy, "drain_standing_stats", None)
+            standing_stats = standing_drain() if standing_drain is not None else None
+            if standing_stats is not None:
+                report.standing = True
+                report.standing_subscriptions = standing_stats.subscriptions
+                report.total_standing_updates += standing_stats.updates
+                report.total_standing_entered += standing_stats.entered
+                report.total_standing_exited += standing_stats.exited
+                report.total_standing_skips += standing_stats.skips
+                report.total_standing_touched += standing_stats.touched
+                report.total_standing_recrawls += standing_stats.recrawls
+                report.total_standing_moved_tests += standing_stats.moved_tests
+
             report.total_maintenance_time += maintenance
             report.total_query_time += query_time
             report.total_results += n_results
@@ -476,6 +517,15 @@ class MeshSimulation:
                     cache_misses=cache_stats.misses if cache_stats is not None else 0,
                     cache_invalidations=(
                         cache_stats.invalidations if cache_stats is not None else 0
+                    ),
+                    standing_updates=(
+                        standing_stats.updates if standing_stats is not None else 0
+                    ),
+                    standing_skips=(
+                        standing_stats.skips if standing_stats is not None else 0
+                    ),
+                    standing_recrawls=(
+                        standing_stats.recrawls if standing_stats is not None else 0
                     ),
                 )
             )

@@ -1,0 +1,25 @@
+"""Standing (continuous) range queries over the delta stream.
+
+Clients :meth:`~repro.standing.StandingQueryRegistry.subscribe` a box once
+and receive per-tick :class:`~repro.standing.MembershipUpdate`\\ s — which
+vertex ids entered, which exited, the full current membership — evaluated
+*incrementally* from the same deformation/topology deltas a strategy's
+maintenance hooks already consume.  Ticks that provably cannot have touched
+a subscription cost O(1) per subscription; see ``docs/standing.md``.
+
+:class:`~repro.standing.StandingStrategy` is the
+:class:`~repro.core.executor.StrategyWrapper` hookup
+(``build_strategy(name, standing=...)``); the
+:class:`~repro.service.ShardedQueryService` exposes the same subscribe
+surface with per-shard slicing of the re-query work.
+"""
+
+from .registry import MembershipUpdate, StandingQueryRegistry, StandingStats
+from .strategy import StandingStrategy
+
+__all__ = [
+    "MembershipUpdate",
+    "StandingQueryRegistry",
+    "StandingStats",
+    "StandingStrategy",
+]

@@ -9,17 +9,21 @@ from .microbenchmarks import (
 from .queries import QueryWorkload, box_for_selectivity, measure_selectivity, random_query_workload
 from .selectivity import HistogramSelectivityEstimator
 from .sessions import repeated_query_provider, zoomed_session_provider
+from .steering import SteeringEvent, SteeringSchedule, subscription_steering
 
 __all__ = [
     "HistogramSelectivityEstimator",
     "Microbenchmark",
     "NEUROSCIENCE_BENCHMARKS",
     "QueryWorkload",
+    "SteeringEvent",
+    "SteeringSchedule",
     "benchmark_by_id",
     "box_for_selectivity",
     "measure_selectivity",
     "random_query_workload",
     "repeated_query_provider",
+    "subscription_steering",
     "workload_for_step",
     "zoomed_session_provider",
 ]

@@ -1,0 +1,142 @@
+"""Subscription-steering workloads for standing continuous queries.
+
+The session-shaped providers in :mod:`repro.workloads.sessions` model
+clients that *re-issue* queries tick after tick; with standing queries
+(:mod:`repro.standing`) the same scientists subscribe once and only *steer*
+— occasionally dropping a watched region and picking a new one as their
+attention shifts.  :func:`subscription_steering` captures that as a fully
+precomputed :class:`SteeringSchedule`: the initial watch boxes plus a
+seeded per-step list of re-steer events.
+
+Precomputing matters for benchmarking.  ``benchmarks/bench_standing.py``
+replays the *identical* schedule against two independent targets — the
+incremental :class:`~repro.standing.StandingQueryRegistry` path and a naive
+re-query-every-box-every-tick reference — in separate solo runs, so the
+schedule must be a pure value with no hidden RNG state advancing between
+replays.  Each replay owns its own ``{slot: subscription_id}`` mapping and
+hands it to :meth:`SteeringSchedule.apply`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..mesh import Box3D, PolyhedralMesh
+from .queries import box_for_selectivity
+
+__all__ = ["SteeringEvent", "SteeringSchedule", "subscription_steering"]
+
+
+@dataclass(frozen=True)
+class SteeringEvent:
+    """One client re-steering its attention: slot drops its box, takes a new one."""
+
+    #: simulation step the re-steer happens on (before the step's deformation)
+    step: int
+    #: logical client slot (stable across re-steers; slots index the initial boxes)
+    slot: int
+    #: the replacement watch box
+    box: Box3D
+
+
+@dataclass(frozen=True)
+class SteeringSchedule:
+    """A replayable standing-query workload: initial boxes + re-steer events.
+
+    The schedule is a pure value — replaying it twice performs identical
+    subscribe/unsubscribe traffic, which is what lets the standing benchmark
+    compare incremental and naive evaluation on the same inputs.
+    """
+
+    #: one watch box per client slot, subscribed before step 1
+    initial_boxes: tuple[Box3D, ...]
+    #: re-steer events in (step, slot) order
+    events: tuple[SteeringEvent, ...]
+    #: number of simulation steps the schedule spans
+    n_steps: int
+    #: the seed that generated the schedule
+    seed: int
+
+    @property
+    def n_subscriptions(self) -> int:
+        return len(self.initial_boxes)
+
+    def events_at(self, step: int) -> list[SteeringEvent]:
+        """The re-steer events scheduled for one step."""
+        return [event for event in self.events if event.step == step]
+
+    def start(self, subscribe: Callable[[Box3D], int]) -> dict[int, int]:
+        """Subscribe every initial box; returns the ``{slot: sid}`` mapping.
+
+        The mapping is owned by the caller and threaded through
+        :meth:`apply` — each replay target keeps its own.
+        """
+        return {slot: subscribe(box) for slot, box in enumerate(self.initial_boxes)}
+
+    def apply(
+        self,
+        step: int,
+        subscribe: Callable[[Box3D], int],
+        unsubscribe: Callable[[int], None],
+        live: dict[int, int],
+    ) -> int:
+        """Perform the step's re-steers against one target; returns the count."""
+        events = self.events_at(step)
+        for event in events:
+            unsubscribe(live[event.slot])
+            live[event.slot] = subscribe(event.box)
+        return len(events)
+
+
+def subscription_steering(
+    mesh: PolyhedralMesh,
+    *,
+    n_subscriptions: int = 16,
+    n_steps: int = 20,
+    selectivity: float = 0.01,
+    resteer_per_step: int = 0,
+    seed: int = 0,
+) -> SteeringSchedule:
+    """Generate a seeded steering schedule over a mesh.
+
+    Every box (initial and replacement) is centred on a random mesh vertex
+    and sized for approximately ``selectivity`` of the vertices via
+    :func:`~repro.workloads.box_for_selectivity`.  Each step re-steers
+    ``resteer_per_step`` distinct client slots to fresh boxes; ``0`` gives a
+    pure watch workload where the subscription set never changes after
+    start-up — the regime where incremental evaluation pays off most.
+    """
+    if n_subscriptions < 1:
+        raise WorkloadError("n_subscriptions must be at least 1")
+    if n_steps < 1:
+        raise WorkloadError("n_steps must be at least 1")
+    if not 0 <= resteer_per_step <= n_subscriptions:
+        raise WorkloadError(
+            "resteer_per_step must lie in [0, n_subscriptions]"
+        )
+    rng = np.random.default_rng(seed)
+
+    def fresh_box() -> Box3D:
+        center = mesh.vertices[int(rng.integers(0, mesh.n_vertices))]
+        return box_for_selectivity(
+            mesh, center, selectivity, seed=int(rng.integers(0, 2**31))
+        )
+
+    initial = tuple(fresh_box() for _ in range(n_subscriptions))
+    events: list[SteeringEvent] = []
+    for step in range(1, n_steps + 1):
+        if resteer_per_step == 0:
+            continue
+        slots = rng.choice(n_subscriptions, size=resteer_per_step, replace=False)
+        for slot in sorted(int(s) for s in slots):
+            events.append(SteeringEvent(step=step, slot=slot, box=fresh_box()))
+    return SteeringSchedule(
+        initial_boxes=initial,
+        events=tuple(events),
+        n_steps=n_steps,
+        seed=seed,
+    )

@@ -68,3 +68,5 @@ def delaunay_small():
 def rng() -> np.random.Generator:
     """A fresh deterministic random generator per test."""
     return np.random.default_rng(12345)
+
+

@@ -22,7 +22,8 @@ class TestExperimentRegistry:
         # Every figure family of the paper's evaluation is reachable from the
         # CLI, plus the maintenance-pipeline scenarios (sparse deformation,
         # restructuring, the sparsity sweep), the chaos/fault-injection run
-        # the sharded-service traffic cells and the result-cache comparison.
+        # the sharded-service traffic cells, the result-cache comparison and
+        # the standing-subscription ledger.
         expected = {
             "figure4", "figure5", "figure6",
             "figure7-detail", "figure7-results", "figure7-steps", "figure7-selectivity",
@@ -30,7 +31,7 @@ class TestExperimentRegistry:
             "figure10-breakdown", "figure10-footprint",
             "figure11", "figure12", "figure13", "figure14", "figure15",
             "sparse-maintenance", "restructuring-maintenance", "sparsity-sweep",
-            "fault-injection", "traffic", "cache",
+            "fault-injection", "traffic", "cache", "standing",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -12,10 +12,9 @@ never a silent divergence.
 chaos job sweeps it).
 """
 
-import os
-
 import numpy as np
 import pytest
+from seed_families import chaos_seed_family
 
 from repro.core import OctopusConExecutor, ResilientStrategy
 from repro.core.delta import DeformationDelta, TopologyDelta
@@ -36,10 +35,10 @@ from repro.simulation.faults import (
     truncate_delta,
     wrong_aabb_delta,
 )
+from repro.standing import StandingStrategy
 from repro.workloads import random_query_workload
 
-_EXTRA_SEED = os.environ.get("REPRO_CHAOS_SEED")
-CHAOS_SEEDS = (7, 19) + ((int(_EXTRA_SEED),) if _EXTRA_SEED else ())
+CHAOS_SEEDS = chaos_seed_family()
 
 
 class TestFaultPlan:
@@ -204,7 +203,14 @@ class TestChaosParity:
         for report in faulted.strategies.values():
             assert len(report.degradation_events) == report.total_degradations
             for event in report.degradation_events:
-                assert event["rung"] in {"sequential", "scan", "quarantine", "full-delta", "rebuild"}
+                assert event["rung"] in {
+                    "sequential",
+                    "scan",
+                    "quarantine",
+                    "full-delta",
+                    "rebuild",
+                    "standing-reeval",
+                }
 
     def test_unwrapped_strategy_crashes_raw_under_faults(self, grid_mesh):
         mesh = grid_mesh.copy()
@@ -236,6 +242,99 @@ class TestChaosParity:
             assert sum(record.degradations for record in strategy_report.steps) == (
                 strategy_report.total_degradations
             )
+
+
+def run_standing_chaos(mesh, plan, n_steps=8, seed=3):
+    """A chaos run with standing subscriptions registered on the wrapped stacks.
+
+    Returns the simulation report plus, per standing strategy, the drained
+    :class:`~repro.standing.MembershipUpdate` stream.
+    """
+    boxes = random_query_workload(mesh, selectivity=0.05, n_queries=3, seed=seed).boxes
+    if plan is not None:
+        octopus = FaultyBatchStrategy(make_strategy("octopus"), plan)
+    else:
+        octopus = make_strategy("octopus")
+    strategies = [
+        make_strategy("linear-scan"),
+        StandingStrategy(ResilientStrategy(octopus, paranoid=True), boxes=boxes, paranoid=True),
+        StandingStrategy(
+            ResilientStrategy(make_strategy("lur-tree"), paranoid=True),
+            boxes=boxes,
+            paranoid=True,
+        ),
+    ]
+    simulation = MeshSimulation(
+        mesh=mesh,
+        deformation=LocalizedPulseDeformation(sparsity=0.1, amplitude=0.02, seed=seed),
+        strategies=strategies,
+        query_provider=lambda mesh, step: boxes,
+        validate_results=True,
+        fault_plan=plan,
+    )
+    report = simulation.run(n_steps)
+    updates = {
+        strategy.name: strategy.drain_membership_updates()
+        for strategy in strategies
+        if isinstance(strategy, StandingStrategy)
+    }
+    return report, updates
+
+
+class TestStandingChaosParity:
+    """Faulted subscriptions emit exactly the clean run's membership stream."""
+
+    @pytest.mark.parametrize("chaos_seed", CHAOS_SEEDS)
+    def test_faulted_subscriptions_emit_clean_membership(self, grid_mesh, chaos_seed):
+        plan = FaultPlan(seed=chaos_seed, probability=0.8)
+        faulted_report, faulted_updates = run_standing_chaos(grid_mesh.copy(), plan)
+        clean_report, clean_updates = run_standing_chaos(grid_mesh.copy(), None)
+
+        assert faulted_report.injected_faults  # the plan really fired
+        assert set(faulted_updates) == set(clean_updates) != set()
+
+        # Membership parity is on WHAT the client sees — subscription, step and
+        # the entered/exited/current sets.  The `reason`/`recrawled` fields may
+        # legitimately differ: a corrupted delta forces the faulted run onto
+        # the full re-evaluation path, but it must land on the same membership.
+        for name in clean_updates:
+            faulted_stream = faulted_updates[name]
+            clean_stream = clean_updates[name]
+            assert len(faulted_stream) == len(clean_stream)
+            for faulted, clean in zip(faulted_stream, clean_stream):
+                context = f"{name} step {clean.step} sid {clean.subscription_id}"
+                assert faulted.subscription_id == clean.subscription_id, context
+                assert faulted.step == clean.step, context
+                assert np.array_equal(faulted.entered, clean.entered), context
+                assert np.array_equal(faulted.exited, clean.exited), context
+                assert np.array_equal(faulted.current, clean.current), context
+
+        # every recovery is in the ledger; delta corruptions that reached the
+        # standing layer show up on the dedicated standing-reeval rung
+        delta_faults = {
+            kind for _, kind in faulted_report.injected_faults if kind != "batch-exception"
+        }
+        standing_events = [
+            event
+            for name in faulted_updates
+            for event in faulted_report[name].degradation_events
+            if event["rung"] == "standing-reeval"
+        ]
+        if delta_faults:
+            assert standing_events
+        for event in standing_events:
+            assert event["operation"] == "standing-tick"
+            assert event["reason"] == "delta-invalid"
+        for name in clean_updates:
+            assert clean_report[name].total_degradations == 0
+
+    def test_chaos_env_seed_extends_the_family(self):
+        base = chaos_seed_family({})
+        extended = chaos_seed_family({"REPRO_CHAOS_SEED": "321"})
+        assert extended[: len(base)] == base
+        assert extended[-1] == 321
+        assert chaos_seed_family({"REPRO_CHAOS_SEED": str(base[1])}) == base
+        assert CHAOS_SEEDS == chaos_seed_family()
 
 
 class TestExperimentSurface:

@@ -25,6 +25,7 @@ EXPECTED_EXPORTS = {
     "mesh",
     "service",
     "simulation",
+    "standing",
     "workloads",
     # mesh substrate
     "Box3D",
@@ -52,9 +53,13 @@ EXPECTED_EXPORTS = {
     # composition surface
     "CacheStats",
     "CachingStrategy",
+    "MembershipUpdate",
     "QueryBudget",
     "QueryResultCache",
     "ResilientStrategy",
+    "StandingQueryRegistry",
+    "StandingStats",
+    "StandingStrategy",
     "StrategyWrapper",
     "build_strategy",
     "make_strategy",
@@ -93,6 +98,7 @@ LAYER_GROUPS = [
         "mesh",
         "service",
         "simulation",
+        "standing",
         "workloads",
     },
     {"Box3D", "HexahedralMesh", "PolyhedralMesh", "TetrahedralMesh", "TriangleMesh"},
@@ -118,9 +124,13 @@ LAYER_GROUPS = [
     {
         "CacheStats",
         "CachingStrategy",
+        "MembershipUpdate",
         "QueryBudget",
         "QueryResultCache",
         "ResilientStrategy",
+        "StandingQueryRegistry",
+        "StandingStats",
+        "StandingStrategy",
         "StrategyWrapper",
         "build_strategy",
         "make_strategy",
@@ -179,12 +189,17 @@ class TestCompositionSurface:
     def test_wrappers_subclass_strategy_wrapper(self):
         assert issubclass(repro.ResilientStrategy, repro.StrategyWrapper)
         assert issubclass(repro.CachingStrategy, repro.StrategyWrapper)
+        assert issubclass(repro.StandingStrategy, repro.StrategyWrapper)
 
     def test_build_strategy_composes_the_documented_stack(self):
-        strategy = repro.build_strategy("octopus", caching=True, resilience=True, budget=None)
-        # cache outermost, so a hit skips the degradation ladder entirely
-        assert isinstance(strategy, repro.CachingStrategy)
-        assert isinstance(strategy.inner, repro.ResilientStrategy)
+        strategy = repro.build_strategy(
+            "octopus", caching=True, resilience=True, budget=None, standing=True
+        )
+        # standing outermost (its re-queries flow through the cache); cache
+        # above the ladder, so a hit skips the degradation ladder entirely
+        assert isinstance(strategy, repro.StandingStrategy)
+        assert isinstance(strategy.inner, repro.CachingStrategy)
+        assert isinstance(strategy.inner.inner, repro.ResilientStrategy)
         assert isinstance(strategy.unwrap(), repro.OctopusExecutor)
 
     def test_deprecated_index_error_alias_is_gone(self):

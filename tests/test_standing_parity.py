@@ -1,0 +1,215 @@
+"""Standing-query differential parity: incremental updates match naive re-query.
+
+The standing registry's whole claim (see ``docs/standing.md``) is that the
+incremental per-tick evaluation — point tests on moved vertices, narrowed
+re-queries only when a topology event's dirty AABB overlaps the box — emits
+*exactly* the membership a client would compute by naively re-querying every
+subscribed box through the bare strategy each tick and diffing by hand.
+This suite pins that bit-for-bit: every registered strategy is crossed with
+sparse and whole-mesh deformation and with split / remove restructuring,
+and at every step every subscription's membership, entered set and exited
+set must equal the naive reference's.
+
+The update stream itself is also checked to be *sufficient*: replaying only
+the drained :class:`~repro.standing.MembershipUpdate` entered/exited diffs
+reconstructs the full membership, so a client never needs to re-query.
+
+``REPRO_PARITY_SEED`` extends the seed family (the CI job sweeps it); the
+extension behaviour is itself asserted below.
+
+Cookbook caveat (see docs/robustness.md): naive re-query is only an exact
+reference where the strategy's own query is exact, and crawl completeness
+is geometric — a box whose in-box subgraph is disconnected can hide a
+component from any single-seed crawl.  The mesh is therefore fine enough
+relative to the subscribed boxes (box side > 2 spacings + amplitude) that
+every box contains a connected interior grid block and every vertex
+entering through a face keeps an inward axis neighbour inside the box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from seed_families import parity_seed_family
+
+from repro.experiments.harness import make_strategy
+from repro.factory import STRATEGY_FACTORIES
+from repro.generators import structured_tetrahedral_mesh
+from repro.simulation import (
+    LocalizedPulseDeformation,
+    SinusoidalWaveDeformation,
+    remove_cells_inplace,
+    split_cells_inplace,
+)
+from repro.standing import StandingStrategy
+from repro.workloads import random_query_workload
+
+ALL_STRATEGIES = tuple(sorted(STRATEGY_FACTORIES))
+PARITY_SEEDS = parity_seed_family()
+
+N_STEPS = 6
+N_SUBSCRIPTIONS = 5
+#: scenario -> (deformation factory, restructuring operation or None)
+SCENARIOS = {
+    "sparse-pulse": (
+        lambda seed: LocalizedPulseDeformation(
+            sparsity=0.05, amplitude=0.02, rest_every=2, seed=seed
+        ),
+        None,
+    ),
+    "full-wave": (lambda seed: SinusoidalWaveDeformation(), None),
+    "split": (
+        lambda seed: LocalizedPulseDeformation(
+            sparsity=0.05, amplitude=0.02, rest_every=2, seed=seed
+        ),
+        "split",
+    ),
+    "remove": (
+        lambda seed: LocalizedPulseDeformation(
+            sparsity=0.05, amplitude=0.02, rest_every=2, seed=seed
+        ),
+        "remove",
+    ),
+}
+
+
+def _restructure(mesh, step: int, operation: str | None):
+    """Apply the scenario's seeded step operation in place; returns its delta."""
+    if operation is None or step % 2 != 0:
+        return None
+    rng = np.random.default_rng(1000 * (step // 2))
+    count = 3
+    offset = int(rng.integers(0, mesh.n_cells - count + 1))
+    cell_ids = np.arange(offset, offset + count, dtype=np.int64)
+    if operation == "split":
+        return split_cells_inplace(mesh, cell_ids).delta
+    return remove_cells_inplace(mesh, cell_ids).delta
+
+
+def _run_parity(strategy_name: str, scenario: str, seed: int) -> None:
+    make_model, operation = SCENARIOS[scenario]
+    mesh_standing = structured_tetrahedral_mesh((7, 7, 7)).copy()
+    mesh_naive = structured_tetrahedral_mesh((7, 7, 7)).copy()
+
+    standing = StandingStrategy(make_strategy(strategy_name))
+    standing.prepare(mesh_standing)
+    naive = make_strategy(strategy_name)
+    naive.prepare(mesh_naive)
+
+    boxes = random_query_workload(
+        mesh_standing, selectivity=0.1, n_queries=N_SUBSCRIPTIONS, seed=seed
+    ).boxes
+    sids = [standing.subscribe(box) for box in boxes]
+    naive_members = {
+        sid: naive.query(box).vertex_ids for sid, box in zip(sids, boxes)
+    }
+
+    # the initial updates establish exactly the naive memberships
+    tracked: dict[int, np.ndarray] = {}
+    for update in standing.drain_membership_updates():
+        assert update.reason == "initial"
+        assert np.array_equal(update.entered, update.current)
+        tracked[update.subscription_id] = update.current
+    assert set(tracked) == set(sids)
+    for sid in sids:
+        assert np.array_equal(tracked[sid], naive_members[sid])
+
+    model_standing = make_model(seed)
+    model_standing.bind(mesh_standing)
+    model_naive = make_model(seed)
+    model_naive.bind(mesh_naive)
+
+    for step in range(1, N_STEPS + 1):
+        topology = _restructure(mesh_standing, step, operation)
+        topology_naive = _restructure(mesh_naive, step, operation)
+        assert (topology is None) == (topology_naive is None)
+        standing.note_step(step)
+        if topology is not None:
+            # mirror the simulator: re-anchor the models, then maintain
+            model_standing.bind(mesh_standing)
+            model_naive.bind(mesh_naive)
+            standing.on_restructure(topology)
+            naive.on_restructure(topology_naive)
+
+        delta = model_standing.apply(step)
+        delta_naive = model_naive.apply(step)
+        assert np.allclose(mesh_standing.vertices, mesh_naive.vertices)
+        standing.on_step(delta)
+        naive.on_step(delta_naive)
+
+        # naive reference: re-query every subscribed box each tick
+        for sid, box in zip(sids, boxes):
+            current = naive.query(box).vertex_ids
+            naive_members[sid] = current
+            context = f"{strategy_name}/{scenario}/seed={seed} step {step} sid {sid}"
+            assert np.array_equal(standing.registry.membership(sid), current), context
+
+        # the update stream is sufficient: replaying entered/exited diffs
+        # reconstructs membership without ever re-querying
+        for update in standing.drain_membership_updates():
+            assert update.step == step
+            previous = tracked[update.subscription_id]
+            replayed = np.union1d(
+                np.setdiff1d(previous, update.exited, assume_unique=True),
+                update.entered,
+            )
+            assert np.array_equal(replayed, update.current)
+            tracked[update.subscription_id] = update.current
+        for sid in sids:
+            assert np.array_equal(tracked[sid], naive_members[sid]), (
+                f"{strategy_name}/{scenario}/seed={seed} step {step} sid {sid}: "
+                "update stream diverged from naive re-query"
+            )
+
+    stats = standing.standing_stats()
+    if scenario == "sparse-pulse":
+        # the incremental contract held without a single strategy re-query:
+        # rest steps and non-overlapping pulses were dismissed O(1)
+        assert stats.recrawls == 0
+        assert stats.skips > 0
+    if scenario == "full-wave":
+        # whole-mesh motion forces the re-query path every tick
+        assert stats.full_reevals == N_STEPS
+    if scenario in ("split", "remove"):
+        assert stats.ticks > N_STEPS  # topology and deformation ticks both ran
+
+
+@pytest.mark.parametrize("seed", PARITY_SEEDS)
+@pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+def test_sparse_deformation_parity(strategy_name, seed):
+    _run_parity(strategy_name, "sparse-pulse", seed)
+
+
+@pytest.mark.parametrize("seed", PARITY_SEEDS)
+@pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+def test_full_deformation_parity(strategy_name, seed):
+    _run_parity(strategy_name, "full-wave", seed)
+
+
+@pytest.mark.parametrize("seed", PARITY_SEEDS)
+@pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+def test_split_restructuring_parity(strategy_name, seed):
+    _run_parity(strategy_name, "split", seed)
+
+
+@pytest.mark.parametrize("seed", PARITY_SEEDS)
+@pytest.mark.parametrize("strategy_name", ALL_STRATEGIES)
+def test_remove_restructuring_parity(strategy_name, seed):
+    _run_parity(strategy_name, "remove", seed)
+
+
+class TestSeedFamily:
+    def test_env_seed_extends_the_family(self):
+        base = parity_seed_family({})
+        extended = parity_seed_family({"REPRO_PARITY_SEED": "123"})
+        assert extended[: len(base)] == base
+        assert len(extended) == len(base) + 1
+        assert extended[-1] == 123
+
+    def test_duplicate_env_seed_is_not_run_twice(self):
+        base = parity_seed_family({})
+        assert parity_seed_family({"REPRO_PARITY_SEED": str(base[0])}) == base
+        assert parity_seed_family({"REPRO_PARITY_SEED": ""}) == base
+
+    def test_live_parametrisation_uses_the_family(self):
+        assert PARITY_SEEDS == parity_seed_family()
